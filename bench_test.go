@@ -1,0 +1,293 @@
+// Package multiflip_test benchmarks regenerate every table and figure of
+// the paper at reduced scale (program subsets, small per-campaign N), so
+// `go test -bench=.` demonstrates each experiment end to end and reports
+// its headline metric. cmd/study regenerates everything at full scale.
+package multiflip_test
+
+import (
+	"io"
+	"testing"
+
+	"multiflip/internal/core"
+	"multiflip/internal/memfault"
+	"multiflip/internal/prog"
+	"multiflip/internal/study"
+	"multiflip/internal/vm"
+)
+
+// benchProgs is the subset used by the per-figure benchmarks: one
+// high-detection program (qsort), one low-detection/high-SDC outlier
+// (CRC32), and one float-heavy kernel (FFT).
+var benchProgs = []string{"qsort", "CRC32", "FFT"}
+
+const benchN = 60 // experiments per campaign inside benchmarks
+
+func runStudy(b *testing.B, progs []string, maxMBFs []int, wins []core.WinSize) *study.Study {
+	b.Helper()
+	s, err := study.Run(study.Options{
+		N:        benchN,
+		Seed:     1,
+		Programs: progs,
+		MaxMBFs:  maxMBFs,
+		WinSizes: wins,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkTableI regenerates Table I (the parameter grid).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := study.TableI().Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableII regenerates Table II: builds and profiles all 15
+// benchmark programs and renders their candidate counts.
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var total uint64
+		for _, bench := range prog.All() {
+			p, err := bench.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			t, err := core.NewTarget(bench.Name, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += t.ReadCands
+		}
+		if total == 0 {
+			b.Fatal("no candidates profiled")
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates Fig 1: single bit-flip outcome
+// classification for both techniques.
+func BenchmarkFigure1(b *testing.B) {
+	var sdc float64
+	for i := 0; i < b.N; i++ {
+		s := runStudy(b, benchProgs, []int{2}, []core.WinSize{core.Win(0)})
+		for _, tech := range core.Techniques() {
+			if err := s.Figure1(tech).Render(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sdc = s.Data["CRC32"].Single[core.InjectOnWrite].SDCPct()
+	}
+	b.ReportMetric(sdc, "CRC32-write-SDC%")
+}
+
+// BenchmarkFigure2 regenerates Fig 2: the same-register (win-size = 0)
+// max-MBF sweep for both techniques.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := runStudy(b, benchProgs, core.StandardMaxMBF(), []core.WinSize{core.Win(0)})
+		for _, tech := range core.Techniques() {
+			if err := s.Figure2(tech).Render(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates Fig 3: the activated-error distribution at
+// max-MBF = 30 over the full win-size grid.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := runStudy(b, benchProgs, []int{30}, core.StandardWinSizes())
+		for _, tech := range core.Techniques() {
+			if err := s.Figure3(tech).Render(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates Fig 4: the multi-register SDC grid for
+// inject-on-read (max-MBF sweep over two window clusters).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := runStudy(b, benchProgs, core.StandardMaxMBF(),
+			[]core.WinSize{core.Win(1), core.Win(100)})
+		if err := s.Figure45(core.InjectOnRead).Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates Fig 5: as Fig 4 for inject-on-write.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := runStudy(b, benchProgs, core.StandardMaxMBF(),
+			[]core.WinSize{core.Win(1), core.Win(100)})
+		if err := s.Figure45(core.InjectOnWrite).Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates Table III: the per-program argmax
+// configuration search over a multi-register grid.
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := runStudy(b, benchProgs, []int{2, 3},
+			[]core.WinSize{core.Win(1), core.Win(4), core.WinRange(11, 100)})
+		t, err := s.TableIII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIV regenerates Table IV (and exercises the Fig 6
+// transition machinery): recorded single-bit campaigns, pinned multi-bit
+// reruns, transition likelihoods.
+func BenchmarkTableIV(b *testing.B) {
+	var tranI float64
+	for i := 0; i < b.N; i++ {
+		s := runStudy(b, benchProgs, []int{2, 3},
+			[]core.WinSize{core.Win(1), core.Win(4)})
+		trans, err := s.RunTransitions()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.TableIV(trans).Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		tranI = trans["qsort"][core.InjectOnRead].TranI
+	}
+	b.ReportMetric(tranI, "qsort-read-TranI%")
+}
+
+// BenchmarkRQAnswers regenerates the research-question summary over a
+// reduced grid.
+func BenchmarkRQAnswers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := runStudy(b, benchProgs, []int{2, 30},
+			[]core.WinSize{core.Win(0), core.Win(1), core.Win(100)})
+		if err := s.Answers(nil).Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationHangFactor measures the hang-budget sensitivity study.
+func BenchmarkAblationHangFactor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := study.HangFactorAblation("histo", core.InjectOnRead, benchN, 1,
+			[]uint64{2, 10, 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAlignment measures the misaligned-trap ablation.
+func BenchmarkAblationAlignment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := study.AlignmentAblation("CRC32", core.InjectOnWrite, benchN, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemFaultSweep regenerates the memory-word multi-bit fault
+// extension table (the paper's future work, §V).
+func BenchmarkMemFaultSweep(b *testing.B) {
+	bench, err := prog.ByName("CRC32")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := bench.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := core.NewTarget(bench.Name, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := memfault.SweepTable(target, []int{1, 3, 8}, benchN, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVMGoldenRun measures raw interpreter throughput on fault-free
+// runs of three differently shaped workloads.
+func BenchmarkVMGoldenRun(b *testing.B) {
+	for _, name := range []string{"CRC32", "FFT", "susan_smoothing"} {
+		bench, err := prog.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := bench.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			var dyn uint64
+			for i := 0; i < b.N; i++ {
+				res, err := vm.Run(p, vm.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				dyn = res.Dyn
+			}
+			b.ReportMetric(float64(dyn)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+		})
+	}
+}
+
+// BenchmarkCampaignThroughput measures end-to-end experiments per second
+// of the parallel campaign runner.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	bench, err := prog.ByName("histo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := bench.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := core.NewTarget(bench.Name, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const perIter = 200
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunCampaign(core.CampaignSpec{
+			Target:    target,
+			Technique: core.InjectOnRead,
+			Config:    core.Config{MaxMBF: 3, Win: core.Win(10)},
+			N:         perIter,
+			Seed:      uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(perIter)*float64(b.N)/b.Elapsed().Seconds(), "experiments/s")
+}

@@ -1,0 +1,117 @@
+// Command fi runs a single fault-injection campaign: one benchmark
+// program, one technique, one (max-MBF, win-size) error cluster.
+//
+// Usage:
+//
+//	fi -prog CRC32 -tech read -mbf 3 -win 10 -n 10000 -seed 1
+//
+// The win flag accepts Table I notation: "0", "4", "1000" (fixed) or
+// "2-10", "101-1000" (RND ranges). mbf=1 is the single bit-flip model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"multiflip/internal/core"
+	"multiflip/internal/prog"
+	"multiflip/internal/report"
+	"multiflip/internal/stats"
+)
+
+func main() {
+	var (
+		progName = flag.String("prog", "CRC32", "benchmark program (see cmd/proginfo for the list)")
+		tech     = flag.String("tech", "read", `technique: "read" (inject-on-read) or "write" (inject-on-write)`)
+		mbf      = flag.Int("mbf", 1, "max-MBF: maximum bit-flip errors per run (1 = single-bit model)")
+		win      = flag.String("win", "0", `win-size: dynamic instructions between injections ("0", "100", "2-10", ...)`)
+		n        = flag.Int("n", 1000, "experiments in the campaign (the paper uses 10000)")
+		seed     = flag.Uint64("seed", 1, "campaign seed (campaigns are exactly reproducible)")
+		hang     = flag.Uint64("hang", core.DefaultHangFactor, "hang budget as a multiple of the fault-free dynamic instruction count")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if err := run(*progName, *tech, *mbf, *win, *n, *seed, *hang, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "fi:", err)
+		os.Exit(1)
+	}
+}
+
+func run(progName, techName string, mbf int, winSpec string, n int, seed, hang uint64, workers int) error {
+	b, err := prog.ByName(progName)
+	if err != nil {
+		return err
+	}
+	p, err := b.Build()
+	if err != nil {
+		return err
+	}
+	target, err := core.NewTarget(progName, p)
+	if err != nil {
+		return err
+	}
+	var tech core.Technique
+	switch techName {
+	case "read":
+		tech = core.InjectOnRead
+	case "write":
+		tech = core.InjectOnWrite
+	default:
+		return fmt.Errorf("unknown technique %q (want read or write)", techName)
+	}
+	win, err := parseWin(winSpec)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{MaxMBF: mbf, Win: win}
+	res, err := core.RunCampaign(core.CampaignSpec{
+		Target:     target,
+		Technique:  tech,
+		Config:     cfg,
+		N:          n,
+		Seed:       seed,
+		HangFactor: hang,
+		Workers:    workers,
+	})
+	if err != nil {
+		return err
+	}
+
+	t := &report.Table{
+		Title: fmt.Sprintf("Campaign: %s, %s, %s, n=%d, seed=%d (golden: %d dyn instr, %d/%d candidates)",
+			progName, tech, cfg, res.N(), seed, target.GoldenDyn, target.ReadCands, target.WriteCands),
+		Columns: []string{"outcome", "count", "percent", "95% CI"},
+	}
+	for _, o := range core.Outcomes() {
+		t.AddRow(o.String(),
+			strconv.Itoa(res.Count(o)),
+			stats.FormatPct(res.Pct(o)),
+			"±"+stats.FormatPct(res.CI95(o)))
+	}
+	t.AddRow("Detection", "", stats.FormatPct(res.DetectionPct()), "")
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("error resilience: %.3f", res.Resilience()),
+		fmt.Sprintf("mean activated errors per experiment: %.2f", float64(res.ActivatedTotal)/float64(res.N())))
+	return t.Render(os.Stdout)
+}
+
+// parseWin parses Table I win-size notation.
+func parseWin(s string) (core.WinSize, error) {
+	s = strings.TrimSpace(s)
+	if lo, hi, ok := strings.Cut(s, "-"); ok {
+		l, err1 := strconv.Atoi(lo)
+		h, err2 := strconv.Atoi(hi)
+		if err1 != nil || err2 != nil || l < 1 || h < l {
+			return core.WinSize{}, fmt.Errorf("bad win range %q", s)
+		}
+		return core.WinRange(l, h), nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 {
+		return core.WinSize{}, fmt.Errorf("bad win value %q", s)
+	}
+	return core.Win(v), nil
+}

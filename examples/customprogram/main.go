@@ -1,0 +1,92 @@
+// customprogram: assess the error resilience of your own code, not just
+// the bundled suite. This example writes a small fixed-point IIR filter
+// in the multiflip IR, verifies it fault-free, then measures how its SDC
+// rate responds to single and triple bit flips — exactly the workflow a
+// user follows to evaluate software-implemented hardening.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multiflip/internal/core"
+	"multiflip/internal/ir"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// buildFilter constructs a 64-sample fixed-point low-pass filter:
+// y[i] = y[i-1] + (x[i] - y[i-1])/8, with a checksum emitted at the end.
+// The duplicate accumulation in "hardened" mode emulates a simple
+// software-implemented error-detection mechanism (duplication with
+// comparison): mismatching copies abort instead of emitting silent
+// corruption.
+func buildFilter(hardened bool) (*ir.Program, error) {
+	mb := ir.NewModule("iir")
+	input := make([]uint32, 64)
+	state := uint32(1)
+	for i := range input {
+		state = state*1664525 + 1013904223
+		input[i] = state >> 20
+	}
+	gIn := mb.GlobalU32s(input)
+
+	f := mb.Func("main", 0)
+	y := f.Let(ir.C(0))
+	y2 := f.Let(ir.C(0)) // duplicate for the hardened variant
+	f.For(ir.C(0), ir.C(64), func(i ir.Reg) {
+		x := f.Load32(f.Idx(ir.C(gIn), i, 4), 0)
+		f.Mov(y, f.Add(y, f.Sdiv(f.Sub(x, y), ir.C(8))))
+		if hardened {
+			f.Mov(y2, f.Add(y2, f.Sdiv(f.Sub(x, y2), ir.C(8))))
+			f.If(f.Ne(y, y2), func() { f.Abort() })
+		}
+		f.Out32(y)
+	})
+	f.RetVoid()
+	return mb.Build()
+}
+
+func run() error {
+	for _, hardened := range []bool{false, true} {
+		program, err := buildFilter(hardened)
+		if err != nil {
+			return err
+		}
+		target, err := core.NewTarget("iir", program)
+		if err != nil {
+			return err
+		}
+		label := "baseline"
+		if hardened {
+			label = "hardened (duplication+compare)"
+		}
+		fmt.Printf("== %s: %d dynamic instructions ==\n", label, target.GoldenDyn)
+		for _, cfg := range []core.Config{
+			core.SingleBit(),
+			{MaxMBF: 3, Win: core.Win(1)},
+		} {
+			res, err := core.RunCampaign(core.CampaignSpec{
+				Target:    target,
+				Technique: core.InjectOnWrite,
+				Config:    cfg,
+				N:         3000,
+				Seed:      5,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-14s SDC %5.1f%%  detected %5.1f%%  benign %5.1f%%  resilience %.3f\n",
+				cfg, res.SDCPct(), res.DetectionPct(),
+				res.Pct(core.OutcomeBenign), res.Resilience())
+		}
+		fmt.Println()
+	}
+	fmt.Println("The hardened variant converts silent corruptions into detected aborts,")
+	fmt.Println("which is precisely the class of mechanism the paper's fault models evaluate.")
+	return nil
+}

@@ -1,0 +1,159 @@
+// Package analysis implements the paper's result analyses: the
+// activated-error distribution (RQ1, Fig 3), the pessimistic-configuration
+// search (RQ2-RQ4, Table III), the single→multi outcome transition matrix
+// (Fig 6, Table IV) and the three error-space pruning layers derived from
+// them (§III-F, §IV-C3).
+package analysis
+
+import (
+	"fmt"
+
+	"multiflip/internal/core"
+	"multiflip/internal/stats"
+)
+
+// ActivationShares aggregates the crash-activation histograms of one or
+// more max-MBF=30 campaigns into the paper's Fig 3 buckets (1-5, 6-10,
+// >10), returning each bucket's percentage of crashed experiments.
+func ActivationShares(results ...*core.CampaignResult) []float64 {
+	hist := make([]int, core.ActivatedCap+1)
+	for _, r := range results {
+		for a, c := range r.CrashActivated {
+			hist[a] += c
+		}
+	}
+	return stats.BucketShares(hist, stats.Fig3Buckets())
+}
+
+// ConfigSDC pairs a configuration with its campaign's SDC percentage.
+type ConfigSDC struct {
+	Config core.Config
+	SDCPct float64
+}
+
+// HighestSDC returns the configuration with the highest SDC percentage
+// among the given campaigns (Table III's per-program argmax). Ties keep
+// the earliest configuration in iteration order of the slice.
+func HighestSDC(results []*core.CampaignResult) (ConfigSDC, error) {
+	if len(results) == 0 {
+		return ConfigSDC{}, fmt.Errorf("analysis: no campaigns to search")
+	}
+	best := ConfigSDC{Config: results[0].Spec.Config, SDCPct: results[0].SDCPct()}
+	for _, r := range results[1:] {
+		if s := r.SDCPct(); s > best.SDCPct {
+			best = ConfigSDC{Config: r.Spec.Config, SDCPct: s}
+		}
+	}
+	return best, nil
+}
+
+// MaxMBFBound returns the smallest max-MBF m such that, among the given
+// campaigns, some campaign with MaxMBF <= m reaches within tolerance
+// percentage points of the overall highest SDC percentage (the paper's
+// RQ3 bound: "at most 3 errors are enough").
+func MaxMBFBound(results []*core.CampaignResult, tolerance float64) (int, error) {
+	best, err := HighestSDC(results)
+	if err != nil {
+		return 0, err
+	}
+	bound := best.Config.MaxMBF
+	for _, r := range results {
+		m := r.Spec.Config.MaxMBF
+		if m < bound && r.SDCPct() >= best.SDCPct-tolerance {
+			bound = m
+		}
+	}
+	return bound, nil
+}
+
+// TransitionMatrix counts single-bit outcome → multi-bit outcome
+// transitions for experiments whose multi-bit run starts at the exact
+// location (candidate, bit) of the single-bit run — the paper's Fig 6.
+type TransitionMatrix struct {
+	// Counts[s][m] is the number of experiments whose single-bit outcome
+	// was s and whose multi-bit outcome was m.
+	Counts [core.NumOutcomes + 1][core.NumOutcomes + 1]int
+}
+
+// Transitions builds the matrix from a recorded single-bit campaign and
+// its pinned multi-bit rerun (same experiment order).
+func Transitions(single, multi []core.Experiment) (*TransitionMatrix, error) {
+	if len(single) != len(multi) {
+		return nil, fmt.Errorf("analysis: experiment counts differ: %d vs %d",
+			len(single), len(multi))
+	}
+	var m TransitionMatrix
+	for i := range single {
+		if single[i].Cand != multi[i].Cand {
+			return nil, fmt.Errorf("analysis: experiment %d not pinned to the single-bit location", i)
+		}
+		m.Counts[single[i].Outcome][multi[i].Outcome]++
+	}
+	return &m, nil
+}
+
+// Total returns the number of recorded transitions.
+func (m *TransitionMatrix) Total() int {
+	n := 0
+	for s := range m.Counts {
+		for d := range m.Counts[s] {
+			n += m.Counts[s][d]
+		}
+	}
+	return n
+}
+
+// fromCount sums the row(s) of single-bit outcomes selected by keep.
+func (m *TransitionMatrix) fromCount(keep func(core.Outcome) bool) (from, toSDC int) {
+	for _, s := range core.Outcomes() {
+		if !keep(s) {
+			continue
+		}
+		for _, d := range core.Outcomes() {
+			from += m.Counts[s][d]
+		}
+		toSDC += m.Counts[s][core.OutcomeSDC]
+	}
+	return from, toSDC
+}
+
+// TransitionI returns the paper's Transition I likelihood in percent:
+// P(multi-bit outcome = SDC | single-bit outcome = Detection).
+func (m *TransitionMatrix) TransitionI() float64 {
+	from, to := m.fromCount(core.Outcome.IsDetection)
+	return stats.Percent(to, from)
+}
+
+// TransitionII returns the paper's Transition II likelihood in percent:
+// P(multi-bit outcome = SDC | single-bit outcome = Benign).
+func (m *TransitionMatrix) TransitionII() float64 {
+	from, to := m.fromCount(func(o core.Outcome) bool { return o == core.OutcomeBenign })
+	return stats.Percent(to, from)
+}
+
+// PrunableShare returns the percentage of single-bit experiments whose
+// locations the §IV-C3 pruning excludes from multi-bit injection: those
+// that ended in Detection or SDC under the single bit-flip model. Only
+// Benign locations can add new SDCs under multiple bit flips.
+func PrunableShare(single []core.Experiment) float64 {
+	prunable := 0
+	for _, e := range single {
+		if e.Outcome.IsDetection() || e.Outcome == core.OutcomeSDC {
+			prunable++
+		}
+	}
+	return stats.Percent(prunable, len(single))
+}
+
+// PessimismGap compares the single bit-flip model against the best
+// multi-bit configuration: it returns bestMulti.SDCPct - singleSDC in
+// percentage points. A non-positive gap means the single-bit model is
+// pessimistic (conservative) for this program/technique — the paper's
+// RQ2.
+func PessimismGap(singleSDC float64, multi []*core.CampaignResult) (float64, ConfigSDC, error) {
+	best, err := HighestSDC(multi)
+	if err != nil {
+		return 0, ConfigSDC{}, err
+	}
+	return best.SDCPct - singleSDC, best, nil
+}

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"multiflip/internal/core"
+)
+
+func cfg(m, win int) core.Config {
+	return core.Config{MaxMBF: m, Win: core.Win(win)}
+}
+
+// fakeCampaign builds a CampaignResult with the given SDC count out of n.
+func fakeCampaign(c core.Config, sdc, n int) *core.CampaignResult {
+	r := &core.CampaignResult{Spec: core.CampaignSpec{Config: c}}
+	r.Counts[core.OutcomeSDC] = sdc
+	r.Counts[core.OutcomeBenign] = n - sdc
+	return r
+}
+
+func TestHighestSDC(t *testing.T) {
+	rs := []*core.CampaignResult{
+		fakeCampaign(cfg(2, 1), 10, 100),
+		fakeCampaign(cfg(3, 1), 30, 100),
+		fakeCampaign(cfg(4, 1), 20, 100),
+	}
+	best, err := HighestSDC(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Config != cfg(3, 1) || math.Abs(best.SDCPct-30) > 1e-9 {
+		t.Fatalf("best = %+v", best)
+	}
+}
+
+func TestHighestSDCTieKeepsFirst(t *testing.T) {
+	rs := []*core.CampaignResult{
+		fakeCampaign(cfg(2, 1), 30, 100),
+		fakeCampaign(cfg(9, 1), 30, 100),
+	}
+	best, _ := HighestSDC(rs)
+	if best.Config != cfg(2, 1) {
+		t.Fatalf("tie should keep the earliest config, got %+v", best.Config)
+	}
+}
+
+func TestHighestSDCEmpty(t *testing.T) {
+	if _, err := HighestSDC(nil); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+}
+
+func TestMaxMBFBound(t *testing.T) {
+	rs := []*core.CampaignResult{
+		fakeCampaign(cfg(2, 1), 28, 100), // within 1pp of the peak
+		fakeCampaign(cfg(3, 1), 29, 100), // the peak
+		fakeCampaign(cfg(10, 1), 5, 100),
+	}
+	b, err := MaxMBFBound(rs, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 2 {
+		t.Fatalf("bound = %d, want 2", b)
+	}
+	b, _ = MaxMBFBound(rs, 0.5)
+	if b != 3 {
+		t.Fatalf("tight bound = %d, want 3", b)
+	}
+}
+
+func exp(cand uint64, out core.Outcome) core.Experiment {
+	return core.Experiment{Cand: cand, Bit: 0, Outcome: out, Activated: 1}
+}
+
+func TestTransitions(t *testing.T) {
+	single := []core.Experiment{
+		exp(1, core.OutcomeBenign),
+		exp(2, core.OutcomeBenign),
+		exp(3, core.OutcomeException),
+		exp(4, core.OutcomeException),
+		exp(5, core.OutcomeSDC),
+	}
+	multi := []core.Experiment{
+		exp(1, core.OutcomeSDC),       // Benign -> SDC: Transition II
+		exp(2, core.OutcomeBenign),    // Benign -> Benign
+		exp(3, core.OutcomeSDC),       // Detection -> SDC: Transition I
+		exp(4, core.OutcomeException), // Detection -> Detection
+		exp(5, core.OutcomeSDC),       // SDC -> SDC (not counted by I/II)
+	}
+	m, err := Transitions(single, multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Total() != 5 {
+		t.Fatalf("total = %d", m.Total())
+	}
+	if got := m.TransitionI(); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("Transition I = %v, want 50", got)
+	}
+	if got := m.TransitionII(); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("Transition II = %v, want 50", got)
+	}
+}
+
+func TestTransitionsRejectMismatch(t *testing.T) {
+	if _, err := Transitions([]core.Experiment{exp(1, core.OutcomeBenign)}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	_, err := Transitions(
+		[]core.Experiment{exp(1, core.OutcomeBenign)},
+		[]core.Experiment{exp(2, core.OutcomeBenign)})
+	if err == nil {
+		t.Fatal("unpinned rerun accepted")
+	}
+}
+
+func TestPrunableShare(t *testing.T) {
+	single := []core.Experiment{
+		exp(1, core.OutcomeBenign),
+		exp(2, core.OutcomeException),
+		exp(3, core.OutcomeSDC),
+		exp(4, core.OutcomeHang),
+	}
+	// Exception, SDC and Hang locations are prunable; Benign is not.
+	if got := PrunableShare(single); math.Abs(got-75) > 1e-9 {
+		t.Fatalf("prunable = %v, want 75", got)
+	}
+	if got := PrunableShare(nil); got != 0 {
+		t.Fatalf("prunable of empty = %v", got)
+	}
+}
+
+func TestPessimismGap(t *testing.T) {
+	multi := []*core.CampaignResult{
+		fakeCampaign(cfg(2, 1), 20, 100),
+		fakeCampaign(cfg(3, 1), 25, 100),
+	}
+	gap, best, err := PessimismGap(30, multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap >= 0 {
+		t.Fatalf("gap = %v, want negative (single-bit pessimistic)", gap)
+	}
+	if best.Config != cfg(3, 1) {
+		t.Fatalf("best = %+v", best)
+	}
+	gap, _, _ = PessimismGap(10, multi)
+	if math.Abs(gap-15) > 1e-9 {
+		t.Fatalf("gap = %v, want 15", gap)
+	}
+}
+
+func TestActivationShares(t *testing.T) {
+	a := &core.CampaignResult{}
+	a.CrashActivated[1] = 60
+	a.CrashActivated[7] = 30
+	b := &core.CampaignResult{}
+	b.CrashActivated[20] = 10
+	shares := ActivationShares(a, b)
+	want := []float64{60, 30, 10}
+	for i := range want {
+		if math.Abs(shares[i]-want[i]) > 1e-9 {
+			t.Fatalf("shares = %v, want %v", shares, want)
+		}
+	}
+}

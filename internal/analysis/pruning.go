@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"multiflip/internal/core"
+)
+
+// PruningSavings quantifies the paper's three error-space pruning layers
+// for one program and technique (§V "Taken together..."):
+//
+//	layer 1 caps max-MBF (RQ1: activations beyond ~10 almost never
+//	  happen; the paper's grid tops out at 30);
+//	layer 2 keeps only the pessimistic clusters (RQ3: max-MBF <= 3
+//	  already reaches the conservative SDC bound, so the max-MBF
+//	  dimension shrinks from the full grid to 2..3);
+//	layer 3 keeps only first-error locations that were Benign under the
+//	  single bit-flip model (RQ5: Detection/SDC locations almost never
+//	  add SDCs).
+//
+// The result expresses each layer as the fraction of the multi-bit
+// experiment space that remains, plus the combined fraction.
+type PruningSavings struct {
+	// MaxMBFValues is the number of max-MBF values in the full grid.
+	MaxMBFValues int
+	// MaxMBFKept is the number of max-MBF values layers 1+2 keep.
+	MaxMBFKept int
+	// BenignShare is the fraction (0..1) of single-bit locations with a
+	// Benign outcome — the locations layer 3 keeps.
+	BenignShare float64
+	// Layer12 is the fraction of the cluster grid kept by layers 1+2.
+	Layer12 float64
+	// Combined is the fraction of the full multi-bit experiment space
+	// that still needs injections after all three layers.
+	Combined float64
+}
+
+// ComputeSavings derives the pruning savings from a recorded single-bit
+// campaign and the grid's max-MBF values. keepMaxMBF is the RQ3 bound
+// (the paper: 3).
+func ComputeSavings(single []core.Experiment, gridMaxMBFs []int, keepMaxMBF int) PruningSavings {
+	kept := 0
+	for _, m := range gridMaxMBFs {
+		if m <= keepMaxMBF {
+			kept++
+		}
+	}
+	benign := 0
+	for _, e := range single {
+		if e.Outcome == core.OutcomeBenign {
+			benign++
+		}
+	}
+	s := PruningSavings{
+		MaxMBFValues: len(gridMaxMBFs),
+		MaxMBFKept:   kept,
+	}
+	if len(single) > 0 {
+		s.BenignShare = float64(benign) / float64(len(single))
+	}
+	if s.MaxMBFValues > 0 {
+		s.Layer12 = float64(s.MaxMBFKept) / float64(s.MaxMBFValues)
+	}
+	s.Combined = s.Layer12 * s.BenignShare
+	return s
+}
+
+// ReductionFactor returns how many times smaller the pruned space is
+// (1/Combined), or 0 when nothing remains.
+func (s PruningSavings) ReductionFactor() float64 {
+	if s.Combined == 0 {
+		return 0
+	}
+	return 1 / s.Combined
+}

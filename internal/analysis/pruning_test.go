@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"multiflip/internal/core"
+)
+
+func TestComputeSavings(t *testing.T) {
+	single := []core.Experiment{
+		exp(1, core.OutcomeBenign),
+		exp(2, core.OutcomeBenign),
+		exp(3, core.OutcomeException),
+		exp(4, core.OutcomeSDC),
+	}
+	grid := []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 30}
+	s := ComputeSavings(single, grid, 3)
+	if s.MaxMBFValues != 10 || s.MaxMBFKept != 2 {
+		t.Fatalf("grid accounting wrong: %+v", s)
+	}
+	if math.Abs(s.BenignShare-0.5) > 1e-9 {
+		t.Fatalf("benign share = %v, want 0.5", s.BenignShare)
+	}
+	if math.Abs(s.Layer12-0.2) > 1e-9 {
+		t.Fatalf("layer12 = %v, want 0.2", s.Layer12)
+	}
+	if math.Abs(s.Combined-0.1) > 1e-9 {
+		t.Fatalf("combined = %v, want 0.1", s.Combined)
+	}
+	if math.Abs(s.ReductionFactor()-10) > 1e-9 {
+		t.Fatalf("reduction = %v, want 10x", s.ReductionFactor())
+	}
+}
+
+func TestComputeSavingsEmpty(t *testing.T) {
+	s := ComputeSavings(nil, nil, 3)
+	if s.Combined != 0 || s.ReductionFactor() != 0 {
+		t.Fatalf("empty savings = %+v", s)
+	}
+}

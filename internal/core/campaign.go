@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"multiflip/internal/vm"
+	"multiflip/internal/xrand"
+)
+
+// DefaultHangFactor multiplies the fault-free dynamic instruction count to
+// form the hang budget. The paper's LLFI timeout is one to two orders of
+// magnitude above the fault-free execution time (§III-E).
+const DefaultHangFactor = 10
+
+// ActivatedCap bounds the activated-error histogram; the paper's largest
+// max-MBF is 30.
+const ActivatedCap = 31
+
+// NumTrapKinds sizes the per-trap-kind exception counters (vm.TrapKind
+// values are dense, starting at TrapNone = 0).
+const NumTrapKinds = int(vm.TrapStackOverflow) + 1
+
+// Pin forces an experiment's first injection: the candidate index and bit
+// of an earlier (usually single-bit) experiment. Used by the §IV-C3
+// transition study, which starts each multi-bit experiment at the exact
+// location of a single-bit experiment.
+type Pin struct {
+	Cand uint64
+	Bit  int
+}
+
+// Experiment records one fault-injection experiment.
+type Experiment struct {
+	// Cand is the first injection's candidate-space index.
+	Cand uint64
+	// Bit is the first injection's bit index within its register, or -1
+	// when the first injection flipped several bits at once.
+	Bit int
+	// Outcome is the §III-E classification.
+	Outcome Outcome
+	// Trap is the hardware-exception kind for OutcomeException runs
+	// (vm.TrapNone otherwise).
+	Trap vm.TrapKind
+	// Activated is the number of bit flips actually performed before the
+	// run ended.
+	Activated int
+}
+
+// CampaignSpec describes a fault-injection campaign: N experiments with
+// one fault model on one workload (§III-E).
+type CampaignSpec struct {
+	// Target is the prepared workload.
+	Target *Target
+	// Technique selects inject-on-read or inject-on-write.
+	Technique Technique
+	// Config is the (max-MBF, win-size) cluster; MaxMBF = 1 for the
+	// single bit-flip model.
+	Config Config
+	// N is the number of experiments. Ignored when Pins is set.
+	N int
+	// Seed makes the campaign reproducible. Experiment i draws its
+	// private stream from (Seed, i) regardless of scheduling.
+	Seed uint64
+	// HangFactor scales the fault-free dynamic instruction count into the
+	// hang budget. Zero selects DefaultHangFactor.
+	HangFactor uint64
+	// Workers bounds campaign parallelism. Zero selects GOMAXPROCS.
+	Workers int
+	// Record keeps per-experiment records in the result (needed by the
+	// transition analysis).
+	Record bool
+	// NoAlignTrap disables the misaligned-access exception (alignment
+	// ablation).
+	NoAlignTrap bool
+	// Pins, when non-empty, forces experiment i's first injection to
+	// Pins[i] and sets N = len(Pins).
+	Pins []Pin
+}
+
+func (s *CampaignSpec) validate() error {
+	if s.Target == nil {
+		return fmt.Errorf("core: campaign needs a target")
+	}
+	if s.Technique != InjectOnRead && s.Technique != InjectOnWrite {
+		return fmt.Errorf("core: invalid technique %d", int(s.Technique))
+	}
+	if err := s.Config.validate(); err != nil {
+		return err
+	}
+	if len(s.Pins) == 0 && s.N <= 0 {
+		return fmt.Errorf("core: campaign needs N > 0 or pins")
+	}
+	if s.Target.Candidates(s.Technique) == 0 {
+		return fmt.Errorf("core: target %s has no %s candidates", s.Target.Name, s.Technique)
+	}
+	return nil
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	// Spec echoes the campaign parameters.
+	Spec CampaignSpec
+	// Counts indexes experiment totals by Outcome.
+	Counts [NumOutcomes + 1]int
+	// CrashActivated histograms the number of activated errors of
+	// experiments that ended in a hardware exception, capped at
+	// ActivatedCap (Fig 3's distribution).
+	CrashActivated [ActivatedCap + 1]int
+	// TrapCounts indexes OutcomeException experiments by vm.TrapKind,
+	// breaking the paper's exception category into segmentation faults,
+	// misaligned accesses, arithmetic errors, aborts and stack overflows.
+	TrapCounts [NumTrapKinds]int
+	// ActivatedTotal sums activated errors over all experiments.
+	ActivatedTotal int
+	// Experiments holds per-experiment records when Spec.Record is set.
+	Experiments []Experiment
+}
+
+// N returns the number of experiments performed.
+func (r *CampaignResult) N() int {
+	n := 0
+	for _, c := range r.Counts {
+		n += c
+	}
+	return n
+}
+
+// Count returns the number of experiments in category o.
+func (r *CampaignResult) Count(o Outcome) int { return r.Counts[o] }
+
+// Pct returns the percentage of experiments in category o.
+func (r *CampaignResult) Pct(o Outcome) float64 {
+	n := r.N()
+	if n == 0 {
+		return 0
+	}
+	return 100 * float64(r.Counts[o]) / float64(n)
+}
+
+// SDCPct returns the silent-data-corruption percentage.
+func (r *CampaignResult) SDCPct() float64 { return r.Pct(OutcomeSDC) }
+
+// DetectionPct returns the paper's aggregate Detection percentage
+// (HWException + Hang + NoOutput).
+func (r *CampaignResult) DetectionPct() float64 {
+	return r.Pct(OutcomeException) + r.Pct(OutcomeHang) + r.Pct(OutcomeNoOutput)
+}
+
+// Resilience returns the error-resilience estimate: the probability that
+// an activated error does not produce an SDC (§II-B).
+func (r *CampaignResult) Resilience() float64 { return 1 - r.SDCPct()/100 }
+
+// CI95 returns the half-width of the 95% confidence interval, in
+// percentage points, of category o's percentage (normal approximation of
+// the binomial, as the paper's error bars).
+func (r *CampaignResult) CI95(o Outcome) float64 {
+	n := r.N()
+	if n == 0 {
+		return 0
+	}
+	p := float64(r.Counts[o]) / float64(n)
+	return 100 * 1.96 * math.Sqrt(p*(1-p)/float64(n))
+}
+
+// RunCampaign executes the campaign. Experiments run in parallel but the
+// result is identical for any worker count: every experiment derives its
+// private random stream from (Seed, experiment index).
+func RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	n := spec.N
+	if len(spec.Pins) > 0 {
+		n = len(spec.Pins)
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	exps := make([]Experiment, n)
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		firstMu  sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				var pin *Pin
+				if len(spec.Pins) > 0 {
+					pin = &spec.Pins[i]
+				}
+				exp, err := runOne(&spec, uint64(i), pin)
+				if err != nil {
+					firstMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					firstMu.Unlock()
+					return
+				}
+				exps[i] = exp
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &CampaignResult{Spec: spec}
+	for i := range exps {
+		e := &exps[i]
+		res.Counts[e.Outcome]++
+		res.ActivatedTotal += e.Activated
+		if e.Outcome == OutcomeException {
+			a := e.Activated
+			if a > ActivatedCap {
+				a = ActivatedCap
+			}
+			res.CrashActivated[a]++
+			if int(e.Trap) < NumTrapKinds {
+				res.TrapCounts[e.Trap]++
+			}
+		}
+	}
+	if spec.Record {
+		res.Experiments = exps
+	}
+	return res, nil
+}
+
+// runOne performs experiment idx of the campaign.
+func runOne(spec *CampaignSpec, idx uint64, pin *Pin) (Experiment, error) {
+	t := spec.Target
+	rng := xrand.ForExperiment(spec.Seed, idx)
+
+	var cand uint64
+	pinnedBit := -1
+	if pin != nil {
+		cand = pin.Cand
+		pinnedBit = pin.Bit
+	} else {
+		cand = rng.Uint64n(t.Candidates(spec.Technique))
+	}
+
+	plan := &vm.Plan{
+		OnWrite:   spec.Technique == InjectOnWrite,
+		FirstCand: cand,
+		MaxFlips:  spec.Config.MaxMBF,
+		PinnedBit: pinnedBit,
+		Rng:       rng,
+	}
+	switch {
+	case spec.Config.IsSingle():
+		plan.SameReg = true // one flip; mode is irrelevant but cheapest
+	case spec.Config.Win.IsZero():
+		plan.SameReg = true
+	default:
+		plan.NextWindow = spec.Config.Win.Sampler()
+	}
+
+	hangFactor := spec.HangFactor
+	if hangFactor == 0 {
+		hangFactor = DefaultHangFactor
+	}
+	res, err := vm.Run(t.Prog, vm.Options{
+		MaxDyn:      hangFactor*t.GoldenDyn + 1000,
+		MaxOutput:   4*len(t.Golden) + 4096,
+		NoAlignTrap: spec.NoAlignTrap,
+		Plan:        plan,
+	})
+	if err != nil {
+		return Experiment{}, fmt.Errorf("core: %s experiment %d: %w", t.Name, idx, err)
+	}
+	trap := vm.TrapNone
+	if res.Stop == vm.StopTrap {
+		trap = res.Trap
+	}
+	return Experiment{
+		Cand:      cand,
+		Bit:       res.FirstBit,
+		Outcome:   t.Classify(res),
+		Trap:      trap,
+		Activated: res.Injected,
+	}, nil
+}

@@ -1,0 +1,202 @@
+// Package core implements the paper's primary contribution: a fault model
+// for single and multiple bit-flip errors over two injection techniques,
+// the (max-MBF, win-size) error-space clustering of §III-C, experiment
+// outcome classification (§III-E), and a parallel, deterministic campaign
+// runner.
+package core
+
+import (
+	"fmt"
+
+	"multiflip/internal/xrand"
+)
+
+// Technique is the fault-injection technique (§III-A).
+type Technique int
+
+// Techniques.
+const (
+	// InjectOnRead flips bits of a source register just before an
+	// instruction reads it (§III-A1).
+	InjectOnRead Technique = iota + 1
+	// InjectOnWrite flips bits of a destination register just after an
+	// instruction writes it (§III-A2).
+	InjectOnWrite
+)
+
+// Techniques lists both techniques in paper order.
+func Techniques() []Technique { return []Technique{InjectOnRead, InjectOnWrite} }
+
+// String implements fmt.Stringer.
+func (t Technique) String() string {
+	switch t {
+	case InjectOnRead:
+		return "inject-on-read"
+	case InjectOnWrite:
+		return "inject-on-write"
+	}
+	return fmt.Sprintf("Technique(%d)", int(t))
+}
+
+// WinSize is the dynamic window size between consecutive injections
+// (§III-C): the number of dynamic instructions separating them. Lo == Hi
+// denotes a fixed window; Lo < Hi denotes the paper's RND(α, β) windows,
+// sampled uniformly per injection.
+type WinSize struct {
+	Lo, Hi int
+}
+
+// Win returns a fixed window of n dynamic instructions.
+func Win(n int) WinSize { return WinSize{Lo: n, Hi: n} }
+
+// WinRange returns a RND(lo, hi) window.
+func WinRange(lo, hi int) WinSize { return WinSize{Lo: lo, Hi: hi} }
+
+// IsZero reports the same-register cluster (win-size = 0).
+func (w WinSize) IsZero() bool { return w.Lo == 0 && w.Hi == 0 }
+
+// IsRandom reports a RND(α, β) window.
+func (w WinSize) IsRandom() bool { return w.Lo != w.Hi }
+
+// String renders Table I notation: "0", "100", "RND(2-10)".
+func (w WinSize) String() string {
+	if w.IsRandom() {
+		return fmt.Sprintf("RND(%d-%d)", w.Lo, w.Hi)
+	}
+	return fmt.Sprintf("%d", w.Lo)
+}
+
+// Sampler returns the per-injection distance sampler used by multi-register
+// plans. It panics for the zero window, which has no follow-up distances.
+func (w WinSize) Sampler() func(*xrand.Rand) uint64 {
+	if w.IsZero() {
+		panic("core: zero window has no distance sampler")
+	}
+	if !w.IsRandom() {
+		n := uint64(w.Lo)
+		return func(*xrand.Rand) uint64 { return n }
+	}
+	lo, hi := w.Lo, w.Hi
+	return func(r *xrand.Rand) uint64 { return uint64(r.IntRange(lo, hi)) }
+}
+
+// validate checks Table I constraints.
+func (w WinSize) validate() error {
+	if w.Lo < 0 || w.Hi < w.Lo {
+		return fmt.Errorf("core: invalid win-size %+v", w)
+	}
+	if w.IsRandom() && w.Lo < 1 {
+		return fmt.Errorf("core: random win-size must start at >= 1, got %v", w)
+	}
+	return nil
+}
+
+// StandardMaxMBF returns Table I's max-MBF values m1..m10.
+func StandardMaxMBF() []int { return []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 30} }
+
+// StandardWinSizes returns Table I's win-size values w1..w9.
+func StandardWinSizes() []WinSize {
+	return []WinSize{
+		Win(0), Win(1), Win(4), WinRange(2, 10), Win(10),
+		WinRange(11, 100), Win(100), WinRange(101, 1000), Win(1000),
+	}
+}
+
+// Config is one error-space cluster: the paper's (max-MBF, win-size) pair.
+// MaxMBF = 1 is the single bit-flip model (win-size is then irrelevant).
+type Config struct {
+	// MaxMBF is the maximum number of bit-flip errors injected in one run.
+	// The actual (activated) count can be smaller if the run ends first.
+	MaxMBF int
+	// Win is the dynamic window size between consecutive injections.
+	Win WinSize
+}
+
+// SingleBit returns the single bit-flip model's configuration.
+func SingleBit() Config { return Config{MaxMBF: 1, Win: Win(0)} }
+
+// IsSingle reports whether this is the single bit-flip model.
+func (c Config) IsSingle() bool { return c.MaxMBF == 1 }
+
+// String implements fmt.Stringer.
+func (c Config) String() string {
+	if c.IsSingle() {
+		return "single-bit"
+	}
+	return fmt.Sprintf("mbf=%d win=%s", c.MaxMBF, c.Win)
+}
+
+func (c Config) validate() error {
+	if c.MaxMBF < 1 {
+		return fmt.Errorf("core: MaxMBF must be >= 1, got %d", c.MaxMBF)
+	}
+	return c.Win.validate()
+}
+
+// MultiRegisterConfigs enumerates the paper's 90 multi-register clusters
+// per technique (10 max-MBF values x 9 win-sizes). Together with the
+// single-bit campaign this yields the 91 campaigns per technique, 182 per
+// program (§III-E).
+func MultiRegisterConfigs() []Config {
+	var cfgs []Config
+	for _, m := range StandardMaxMBF() {
+		for _, w := range StandardWinSizes() {
+			cfgs = append(cfgs, Config{MaxMBF: m, Win: w})
+		}
+	}
+	return cfgs
+}
+
+// Outcome classifies one experiment (§III-E).
+type Outcome int
+
+// Outcome categories.
+const (
+	// OutcomeBenign: normal termination, output matches the golden run.
+	OutcomeBenign Outcome = iota + 1
+	// OutcomeException: a hardware exception was raised (segmentation
+	// fault, misaligned access, arithmetic error, abort).
+	OutcomeException
+	// OutcomeHang: the run exceeded its dynamic-instruction budget.
+	OutcomeHang
+	// OutcomeNoOutput: normal termination but no output was produced.
+	OutcomeNoOutput
+	// OutcomeSDC: normal termination with incorrect output and no failure
+	// indication — silent data corruption.
+	OutcomeSDC
+
+	// NumOutcomes is the number of categories.
+	NumOutcomes = 5
+)
+
+// Outcomes lists all categories in presentation order.
+func Outcomes() []Outcome {
+	return []Outcome{OutcomeBenign, OutcomeException, OutcomeHang, OutcomeNoOutput, OutcomeSDC}
+}
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeBenign:
+		return "Benign"
+	case OutcomeException:
+		return "HWException"
+	case OutcomeHang:
+		return "Hang"
+	case OutcomeNoOutput:
+		return "NoOutput"
+	case OutcomeSDC:
+		return "SDC"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// ContributesToResilience reports whether the category counts toward error
+// resilience (everything except SDC, §II-B).
+func (o Outcome) ContributesToResilience() bool { return o != OutcomeSDC }
+
+// IsDetection reports whether the category belongs to the paper's
+// aggregated Detection class (HWException + Hang + NoOutput).
+func (o Outcome) IsDetection() bool {
+	return o == OutcomeException || o == OutcomeHang || o == OutcomeNoOutput
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"multiflip/internal/ir"
+	"multiflip/internal/vm"
+)
+
+// Target is a workload prepared for fault injection: the program plus its
+// fault-free profile (golden output, dynamic instruction count, and the
+// candidate-space sizes for both techniques).
+type Target struct {
+	// Name identifies the workload (Table II program name).
+	Name string
+	// Prog is the executable program.
+	Prog *ir.Program
+	// Golden is the fault-free output, the SDC comparison baseline.
+	Golden []byte
+	// GoldenDyn is the fault-free dynamic instruction count.
+	GoldenDyn uint64
+	// ReadCands is the inject-on-read candidate-space size (dynamic
+	// register-read operand slots).
+	ReadCands uint64
+	// WriteCands is the inject-on-write candidate-space size (dynamic
+	// destination-register writes).
+	WriteCands uint64
+	// ReadRoles decomposes the inject-on-read candidate space by
+	// ir.SlotRole (address/data/control/float/other): the data-type mix
+	// the paper uses to explain detection-rate differences (§IV-A).
+	ReadRoles [ir.NumSlotRoles]uint64
+	// WriteRoles decomposes the inject-on-write candidate space likewise.
+	WriteRoles [ir.NumSlotRoles]uint64
+}
+
+// NewTarget profiles p fault-free and returns the prepared target.
+func NewTarget(name string, p *ir.Program) (*Target, error) {
+	prof, err := vm.Profile(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: prepare %s: %w", name, err)
+	}
+	if len(prof.Output) == 0 {
+		return nil, fmt.Errorf("core: prepare %s: fault-free run produced no output", name)
+	}
+	return &Target{
+		Name:       name,
+		Prog:       p,
+		Golden:     prof.Output,
+		GoldenDyn:  prof.Dyn,
+		ReadCands:  prof.ReadSlots,
+		WriteCands: prof.Writes,
+		ReadRoles:  prof.ReadRoles,
+		WriteRoles: prof.WriteRoles,
+	}, nil
+}
+
+// Roles returns the candidate-role decomposition for a technique.
+func (t *Target) Roles(tech Technique) [ir.NumSlotRoles]uint64 {
+	if tech == InjectOnWrite {
+		return t.WriteRoles
+	}
+	return t.ReadRoles
+}
+
+// Candidates returns the candidate-space size for a technique.
+func (t *Target) Candidates(tech Technique) uint64 {
+	if tech == InjectOnWrite {
+		return t.WriteCands
+	}
+	return t.ReadCands
+}
+
+// Classify maps a run result to the paper's outcome categories (§III-E):
+//
+//   - a trap is Detected by Hardware Exception;
+//   - exceeding the dynamic-instruction budget is a Hang (the output-limit
+//     stop is classified likewise: only a watchdog would catch it);
+//   - normal termination with no output is NoOutput;
+//   - normal termination with golden output is Benign;
+//   - normal termination with different output is an SDC.
+func (t *Target) Classify(res *vm.Result) Outcome {
+	switch res.Stop {
+	case vm.StopTrap:
+		return OutcomeException
+	case vm.StopHang, vm.StopOutputLimit:
+		return OutcomeHang
+	}
+	if len(res.Output) == 0 {
+		return OutcomeNoOutput
+	}
+	if bytes.Equal(res.Output, t.Golden) {
+		return OutcomeBenign
+	}
+	return OutcomeSDC
+}

@@ -1,0 +1,498 @@
+package ir
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+func f64bits(v float64) uint64 { return math.Float64bits(v) }
+
+// Src is anything that can serve as an instruction operand: a Reg or an
+// Operand (immediate or register). It keeps benchmark code readable:
+//
+//	sum := f.Add(sum, f.Load32(base, 0))
+//	f.Store32(base, ir.C(0), 4)
+type Src interface {
+	operand() Operand
+}
+
+func (r Reg) operand() Operand     { return R(r) }
+func (o Operand) operand() Operand { return o }
+
+// Label is a branch target inside a function under construction.
+type Label int
+
+// ModuleBuilder assembles a Program: global data plus functions.
+type ModuleBuilder struct {
+	name    string
+	globals []byte
+	funcs   []*FuncBuilder
+	byName  map[string]int
+	err     error
+}
+
+// NewModule returns an empty module builder.
+func NewModule(name string) *ModuleBuilder {
+	return &ModuleBuilder{
+		name:   name,
+		byName: make(map[string]int),
+	}
+}
+
+func (m *ModuleBuilder) setErr(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+}
+
+// align8 pads the global image to an 8-byte boundary.
+func (m *ModuleBuilder) align8() {
+	for len(m.globals)%8 != 0 {
+		m.globals = append(m.globals, 0)
+	}
+}
+
+// GlobalBytes places data in the global segment and returns its virtual
+// address.
+func (m *ModuleBuilder) GlobalBytes(data []byte) uint64 {
+	m.align8()
+	addr := uint64(GlobalBase + len(m.globals))
+	m.globals = append(m.globals, data...)
+	return addr
+}
+
+// GlobalZero reserves n zeroed bytes in the global segment and returns the
+// virtual address.
+func (m *ModuleBuilder) GlobalZero(n int) uint64 {
+	m.align8()
+	addr := uint64(GlobalBase + len(m.globals))
+	m.globals = append(m.globals, make([]byte, n)...)
+	return addr
+}
+
+// GlobalU32s places a little-endian array of 32-bit words.
+func (m *ModuleBuilder) GlobalU32s(vals []uint32) uint64 {
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], v)
+	}
+	return m.GlobalBytes(buf)
+}
+
+// GlobalU64s places a little-endian array of 64-bit words.
+func (m *ModuleBuilder) GlobalU64s(vals []uint64) uint64 {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], v)
+	}
+	return m.GlobalBytes(buf)
+}
+
+// GlobalF64s places an array of IEEE-754 doubles.
+func (m *ModuleBuilder) GlobalF64s(vals []float64) uint64 {
+	u := make([]uint64, len(vals))
+	for i, v := range vals {
+		u[i] = f64bits(v)
+	}
+	return m.GlobalU64s(u)
+}
+
+// Func starts a new function with the given number of arguments. Arguments
+// occupy registers 0..numArgs-1.
+func (m *ModuleBuilder) Func(name string, numArgs int) *FuncBuilder {
+	if _, dup := m.byName[name]; dup {
+		m.setErr(fmt.Errorf("ir: duplicate function %q", name))
+	}
+	fb := &FuncBuilder{
+		mod:     m,
+		name:    name,
+		numArgs: numArgs,
+		nextReg: Reg(numArgs),
+	}
+	m.byName[name] = len(m.funcs)
+	m.funcs = append(m.funcs, fb)
+	return fb
+}
+
+// Build resolves labels and call targets, validates the program, and
+// returns it. The entry point is the function named "main".
+func (m *ModuleBuilder) Build() (*Program, error) {
+	if m.err != nil {
+		return nil, m.err
+	}
+	mainIdx, ok := m.byName["main"]
+	if !ok {
+		return nil, fmt.Errorf("ir: module %q has no main function", m.name)
+	}
+	p := &Program{
+		Name:    m.name,
+		Globals: append([]byte(nil), m.globals...),
+		Main:    mainIdx,
+	}
+	for _, fb := range m.funcs {
+		f, err := fb.finish()
+		if err != nil {
+			return nil, fmt.Errorf("ir: func %s: %w", fb.name, err)
+		}
+		p.Funcs = append(p.Funcs, f)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build for tests and static program constructors where a
+// build error is a programming bug.
+func (m *ModuleBuilder) MustBuild() *Program {
+	p, err := m.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FuncBuilder assembles one function.
+type FuncBuilder struct {
+	mod      *ModuleBuilder
+	name     string
+	numArgs  int
+	nextReg  Reg
+	code     []Instr
+	labels   []int // label -> pc (-1 while unbound)
+	branches []int // pcs whose Off is a label id awaiting resolution
+	calls    []int // pcs whose Off is a callee index awaiting arity check
+	callees  []string
+}
+
+// Name returns the function name.
+func (f *FuncBuilder) Name() string { return f.name }
+
+// Arg returns the register holding the i-th argument.
+func (f *FuncBuilder) Arg(i int) Reg {
+	if i < 0 || i >= f.numArgs {
+		f.mod.setErr(fmt.Errorf("ir: func %s: arg %d out of range", f.name, i))
+		return 0
+	}
+	return Reg(i)
+}
+
+// NewReg allocates a fresh virtual register.
+func (f *FuncBuilder) NewReg() Reg {
+	r := f.nextReg
+	if f.nextReg == NoReg-1 {
+		f.mod.setErr(fmt.Errorf("ir: func %s: register file exhausted", f.name))
+	}
+	f.nextReg++
+	return r
+}
+
+func (f *FuncBuilder) emit(in Instr) { f.code = append(f.code, in) }
+
+// emitDst emits in with a fresh destination register and returns it.
+func (f *FuncBuilder) emitDst(in Instr) Reg {
+	d := f.NewReg()
+	in.Dst = d
+	f.emit(in)
+	return d
+}
+
+// --- labels and branches ---
+
+// NewLabel creates an unbound label.
+func (f *FuncBuilder) NewLabel() Label {
+	f.labels = append(f.labels, -1)
+	return Label(len(f.labels) - 1)
+}
+
+// Bind binds a label to the current position.
+func (f *FuncBuilder) Bind(l Label) {
+	if f.labels[l] != -1 {
+		f.mod.setErr(fmt.Errorf("ir: func %s: label bound twice", f.name))
+	}
+	f.labels[l] = len(f.code)
+}
+
+// Jmp emits an unconditional jump to l.
+func (f *FuncBuilder) Jmp(l Label) {
+	f.branches = append(f.branches, len(f.code))
+	f.emit(Instr{Op: OpBr, Dst: NoReg, A: noneOperand, B: noneOperand, C: noneOperand, Off: int64(l)})
+}
+
+// JmpIf emits a jump to l taken when cond is non-zero.
+func (f *FuncBuilder) JmpIf(cond Src, l Label) {
+	f.branches = append(f.branches, len(f.code))
+	f.emit(Instr{Op: OpCondBr, Dst: NoReg, A: cond.operand(), B: noneOperand, C: noneOperand, Off: int64(l)})
+}
+
+// JmpIfNot emits a jump to l taken when cond is zero.
+func (f *FuncBuilder) JmpIfNot(cond Src, l Label) {
+	z := f.CmpW(W64, OpICmpEQ, cond, C(0))
+	f.JmpIf(z, l)
+}
+
+// --- structured control flow ---
+
+// If runs then() only when cond is non-zero.
+func (f *FuncBuilder) If(cond Src, then func()) {
+	end := f.NewLabel()
+	f.JmpIfNot(cond, end)
+	then()
+	f.Bind(end)
+}
+
+// IfElse runs then() when cond is non-zero, otherwise els().
+func (f *FuncBuilder) IfElse(cond Src, then, els func()) {
+	elseL := f.NewLabel()
+	end := f.NewLabel()
+	f.JmpIfNot(cond, elseL)
+	then()
+	f.Jmp(end)
+	f.Bind(elseL)
+	els()
+	f.Bind(end)
+}
+
+// While loops while cond() evaluates non-zero. cond is re-emitted at the
+// loop head each iteration.
+func (f *FuncBuilder) While(cond func() Src, body func()) {
+	head := f.NewLabel()
+	exit := f.NewLabel()
+	f.Bind(head)
+	f.JmpIfNot(cond(), exit)
+	body()
+	f.Jmp(head)
+	f.Bind(exit)
+}
+
+// For runs body(i) for i in [lo, hi) with a signed 32-bit counter held in a
+// fresh register.
+func (f *FuncBuilder) For(lo, hi Src, body func(i Reg)) {
+	i := f.NewReg()
+	f.Mov(i, lo)
+	hiOp := hi.operand()
+	f.While(func() Src { return f.Slt(i, hiOp) }, func() {
+		body(i)
+		f.Mov(i, f.Add(i, C(1)))
+	})
+}
+
+// --- data movement ---
+
+// Mov assigns src to the existing register dst.
+func (f *FuncBuilder) Mov(dst Reg, src Src) {
+	f.emit(Instr{Op: OpMov, W: W64, Dst: dst, A: src.operand(), B: noneOperand, C: noneOperand})
+}
+
+// Let materializes src into a fresh register.
+func (f *FuncBuilder) Let(src Src) Reg {
+	return f.emitDst(Instr{Op: OpMov, W: W64, A: src.operand(), B: noneOperand, C: noneOperand})
+}
+
+// Select returns cond != 0 ? a : b.
+func (f *FuncBuilder) Select(cond, a, b Src) Reg {
+	return f.emitDst(Instr{Op: OpSelect, W: W64, A: cond.operand(), B: a.operand(), C: b.operand()})
+}
+
+// --- integer arithmetic (width-explicit core + 32-bit conveniences) ---
+
+// BinW emits a width-w binary integer instruction and returns its result.
+func (f *FuncBuilder) BinW(w Width, op Op, a, b Src) Reg {
+	return f.emitDst(Instr{Op: op, W: w, A: a.operand(), B: b.operand(), C: noneOperand})
+}
+
+// CmpW emits a width-w comparison and returns the 0/1 result.
+func (f *FuncBuilder) CmpW(w Width, op Op, a, b Src) Reg {
+	return f.emitDst(Instr{Op: op, W: w, A: a.operand(), B: b.operand(), C: noneOperand})
+}
+
+// 32-bit conveniences: the dominant integer width in the benchmark suite,
+// matching the i32-heavy LLVM IR of the original C programs.
+
+func (f *FuncBuilder) Add(a, b Src) Reg  { return f.BinW(W32, OpAdd, a, b) }
+func (f *FuncBuilder) Sub(a, b Src) Reg  { return f.BinW(W32, OpSub, a, b) }
+func (f *FuncBuilder) Mul(a, b Src) Reg  { return f.BinW(W32, OpMul, a, b) }
+func (f *FuncBuilder) Udiv(a, b Src) Reg { return f.BinW(W32, OpUDiv, a, b) }
+func (f *FuncBuilder) Sdiv(a, b Src) Reg { return f.BinW(W32, OpSDiv, a, b) }
+func (f *FuncBuilder) Urem(a, b Src) Reg { return f.BinW(W32, OpURem, a, b) }
+func (f *FuncBuilder) Srem(a, b Src) Reg { return f.BinW(W32, OpSRem, a, b) }
+func (f *FuncBuilder) And(a, b Src) Reg  { return f.BinW(W32, OpAnd, a, b) }
+func (f *FuncBuilder) Or(a, b Src) Reg   { return f.BinW(W32, OpOr, a, b) }
+func (f *FuncBuilder) Xor(a, b Src) Reg  { return f.BinW(W32, OpXor, a, b) }
+func (f *FuncBuilder) Shl(a, b Src) Reg  { return f.BinW(W32, OpShl, a, b) }
+func (f *FuncBuilder) Lshr(a, b Src) Reg { return f.BinW(W32, OpLShr, a, b) }
+func (f *FuncBuilder) Ashr(a, b Src) Reg { return f.BinW(W32, OpAShr, a, b) }
+
+func (f *FuncBuilder) Eq(a, b Src) Reg  { return f.CmpW(W32, OpICmpEQ, a, b) }
+func (f *FuncBuilder) Ne(a, b Src) Reg  { return f.CmpW(W32, OpICmpNE, a, b) }
+func (f *FuncBuilder) Ult(a, b Src) Reg { return f.CmpW(W32, OpICmpULT, a, b) }
+func (f *FuncBuilder) Ule(a, b Src) Reg { return f.CmpW(W32, OpICmpULE, a, b) }
+func (f *FuncBuilder) Slt(a, b Src) Reg { return f.CmpW(W32, OpICmpSLT, a, b) }
+func (f *FuncBuilder) Sle(a, b Src) Reg { return f.CmpW(W32, OpICmpSLE, a, b) }
+func (f *FuncBuilder) Sgt(a, b Src) Reg { return f.CmpW(W32, OpICmpSLT, b, a) }
+func (f *FuncBuilder) Sge(a, b Src) Reg { return f.CmpW(W32, OpICmpSLE, b, a) }
+func (f *FuncBuilder) Ugt(a, b Src) Reg { return f.CmpW(W32, OpICmpULT, b, a) }
+func (f *FuncBuilder) Uge(a, b Src) Reg { return f.CmpW(W32, OpICmpULE, b, a) }
+
+// --- floating point ---
+
+func (f *FuncBuilder) fbin(op Op, a, b Src) Reg {
+	return f.emitDst(Instr{Op: op, W: W64, A: a.operand(), B: b.operand(), C: noneOperand})
+}
+
+func (f *FuncBuilder) funary(op Op, a Src) Reg {
+	return f.emitDst(Instr{Op: op, W: W64, A: a.operand(), B: noneOperand, C: noneOperand})
+}
+
+func (f *FuncBuilder) Fadd(a, b Src) Reg { return f.fbin(OpFAdd, a, b) }
+func (f *FuncBuilder) Fsub(a, b Src) Reg { return f.fbin(OpFSub, a, b) }
+func (f *FuncBuilder) Fmul(a, b Src) Reg { return f.fbin(OpFMul, a, b) }
+func (f *FuncBuilder) Fdiv(a, b Src) Reg { return f.fbin(OpFDiv, a, b) }
+func (f *FuncBuilder) Fneg(a Src) Reg    { return f.funary(OpFNeg, a) }
+func (f *FuncBuilder) Fabs(a Src) Reg    { return f.funary(OpFAbs, a) }
+func (f *FuncBuilder) Fsqrt(a Src) Reg   { return f.funary(OpFSqrt, a) }
+func (f *FuncBuilder) Feq(a, b Src) Reg  { return f.fbin(OpFCmpEQ, a, b) }
+func (f *FuncBuilder) Fne(a, b Src) Reg  { return f.fbin(OpFCmpNE, a, b) }
+func (f *FuncBuilder) Flt(a, b Src) Reg  { return f.fbin(OpFCmpLT, a, b) }
+func (f *FuncBuilder) Fle(a, b Src) Reg  { return f.fbin(OpFCmpLE, a, b) }
+func (f *FuncBuilder) Fgt(a, b Src) Reg  { return f.fbin(OpFCmpLT, b, a) }
+func (f *FuncBuilder) Fge(a, b Src) Reg  { return f.fbin(OpFCmpLE, b, a) }
+
+// SiToFp converts a signed w-bit integer to float64.
+func (f *FuncBuilder) SiToFp(w Width, a Src) Reg {
+	return f.emitDst(Instr{Op: OpSIToFP, W: w, A: a.operand(), B: noneOperand, C: noneOperand})
+}
+
+// FpToSi converts a float64 to a signed w-bit integer (saturating).
+func (f *FuncBuilder) FpToSi(w Width, a Src) Reg {
+	return f.emitDst(Instr{Op: OpFPToSI, W: w, A: a.operand(), B: noneOperand, C: noneOperand})
+}
+
+// Sext sign-extends the w-bit value a to 64 bits.
+func (f *FuncBuilder) Sext(w Width, a Src) Reg {
+	return f.emitDst(Instr{Op: OpSExt, W: w, A: a.operand(), B: noneOperand, C: noneOperand})
+}
+
+// Zext zero-extends the w-bit value a to 64 bits.
+func (f *FuncBuilder) Zext(w Width, a Src) Reg {
+	return f.emitDst(Instr{Op: OpZExt, W: w, A: a.operand(), B: noneOperand, C: noneOperand})
+}
+
+// Bitcast moves a raw 64-bit payload unchanged (reinterpreting int/float).
+func (f *FuncBuilder) Bitcast(a Src) Reg {
+	return f.emitDst(Instr{Op: OpBitcast, W: W64, A: a.operand(), B: noneOperand, C: noneOperand})
+}
+
+// Trunc truncates a to w bits.
+func (f *FuncBuilder) Trunc(w Width, a Src) Reg {
+	return f.emitDst(Instr{Op: OpTrunc, W: w, A: a.operand(), B: noneOperand, C: noneOperand})
+}
+
+// --- memory ---
+
+// LoadW loads a w-width value from addr+off, zero-extended.
+func (f *FuncBuilder) LoadW(w Width, addr Src, off int64) Reg {
+	return f.emitDst(Instr{Op: OpLoad, W: w, A: addr.operand(), B: noneOperand, C: noneOperand, Off: off})
+}
+
+// StoreW stores the low w bits of val to addr+off.
+func (f *FuncBuilder) StoreW(w Width, addr Src, val Src, off int64) {
+	f.emit(Instr{Op: OpStore, W: w, Dst: NoReg, A: addr.operand(), B: val.operand(), C: noneOperand, Off: off})
+}
+
+func (f *FuncBuilder) Load8(addr Src, off int64) Reg    { return f.LoadW(W8, addr, off) }
+func (f *FuncBuilder) Load32(addr Src, off int64) Reg   { return f.LoadW(W32, addr, off) }
+func (f *FuncBuilder) Load64(addr Src, off int64) Reg   { return f.LoadW(W64, addr, off) }
+func (f *FuncBuilder) LoadF(addr Src, off int64) Reg    { return f.LoadW(W64, addr, off) }
+func (f *FuncBuilder) Store8(addr, val Src, off int64)  { f.StoreW(W8, addr, val, off) }
+func (f *FuncBuilder) Store32(addr, val Src, off int64) { f.StoreW(W32, addr, val, off) }
+func (f *FuncBuilder) Store64(addr, val Src, off int64) { f.StoreW(W64, addr, val, off) }
+func (f *FuncBuilder) StoreF(addr, val Src, off int64)  { f.StoreW(W64, addr, val, off) }
+
+// Alloca reserves size bytes on the stack and returns their address.
+func (f *FuncBuilder) Alloca(size int64) Reg {
+	return f.emitDst(Instr{Op: OpAlloca, W: W64, A: noneOperand, B: noneOperand, C: noneOperand, Off: size})
+}
+
+// Idx computes base + idx*scale as a 64-bit address. idx is treated as an
+// unsigned 32-bit value (benchmark indices are non-negative).
+func (f *FuncBuilder) Idx(base Src, idx Src, scale int64) Reg {
+	scaled := f.BinW(W64, OpMul, idx, CI(scale))
+	return f.BinW(W64, OpAdd, base, scaled)
+}
+
+// --- calls, returns, environment ---
+
+// Call emits a call to the named function and returns the register holding
+// its result. For void callees the result register holds zero. The callee
+// may be declared later in the module; names resolve at Build time.
+func (f *FuncBuilder) Call(name string, args ...Src) Reg {
+	ops := make([]Operand, len(args))
+	for i, a := range args {
+		ops[i] = a.operand()
+	}
+	f.calls = append(f.calls, len(f.code))
+	f.callees = append(f.callees, name)
+	return f.emitDst(Instr{Op: OpCall, W: W64, A: noneOperand, B: noneOperand, C: noneOperand, Off: -1, Args: ops})
+}
+
+// CallVoid emits a call whose result is discarded.
+func (f *FuncBuilder) CallVoid(name string, args ...Src) {
+	ops := make([]Operand, len(args))
+	for i, a := range args {
+		ops[i] = a.operand()
+	}
+	f.calls = append(f.calls, len(f.code))
+	f.callees = append(f.callees, name)
+	f.emit(Instr{Op: OpCall, W: W64, Dst: NoReg, A: noneOperand, B: noneOperand, C: noneOperand, Off: -1, Args: ops})
+}
+
+// Ret returns v from the function.
+func (f *FuncBuilder) Ret(v Src) {
+	f.emit(Instr{Op: OpRet, Dst: NoReg, A: v.operand(), B: noneOperand, C: noneOperand})
+}
+
+// RetVoid returns from the function without a value.
+func (f *FuncBuilder) RetVoid() {
+	f.emit(Instr{Op: OpRet, Dst: NoReg, A: noneOperand, B: noneOperand, C: noneOperand})
+}
+
+// OutW appends the low w bytes of v to the program output.
+func (f *FuncBuilder) OutW(w Width, v Src) {
+	f.emit(Instr{Op: OpOut, W: w, Dst: NoReg, A: v.operand(), B: noneOperand, C: noneOperand})
+}
+
+func (f *FuncBuilder) Out8(v Src)  { f.OutW(W8, v) }
+func (f *FuncBuilder) Out32(v Src) { f.OutW(W32, v) }
+func (f *FuncBuilder) Out64(v Src) { f.OutW(W64, v) }
+
+// Abort terminates the run with a self-detected failure.
+func (f *FuncBuilder) Abort() {
+	f.emit(Instr{Op: OpAbort, Dst: NoReg, A: noneOperand, B: noneOperand, C: noneOperand})
+}
+
+// finish resolves this function's labels into PC offsets and call names
+// into function indices.
+func (f *FuncBuilder) finish() (*Func, error) {
+	for _, pc := range f.branches {
+		l := Label(f.code[pc].Off)
+		if int(l) >= len(f.labels) || f.labels[l] == -1 {
+			return nil, fmt.Errorf("unbound label at pc %d", pc)
+		}
+		f.code[pc].Off = int64(f.labels[l])
+	}
+	for i, pc := range f.calls {
+		idx, ok := f.mod.byName[f.callees[i]]
+		if !ok {
+			return nil, fmt.Errorf("call to unknown function %q at pc %d", f.callees[i], pc)
+		}
+		f.code[pc].Off = int64(idx)
+	}
+	return &Func{
+		Name:    f.name,
+		NumArgs: f.numArgs,
+		NumRegs: int(f.nextReg),
+		Code:    f.code,
+	}, nil
+}

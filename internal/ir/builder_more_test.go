@@ -1,0 +1,143 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDuplicateFunction(t *testing.T) {
+	mb := NewModule("t")
+	f := mb.Func("main", 0)
+	f.RetVoid()
+	g := mb.Func("main", 0)
+	g.RetVoid()
+	if _, err := mb.Build(); err == nil {
+		t.Fatal("duplicate function accepted")
+	}
+}
+
+func TestArgOutOfRange(t *testing.T) {
+	mb := NewModule("t")
+	f := mb.Func("main", 0)
+	f.Arg(0) // main has no args
+	f.RetVoid()
+	if _, err := mb.Build(); err == nil {
+		t.Fatal("out-of-range Arg accepted")
+	}
+}
+
+func TestLabelBoundTwice(t *testing.T) {
+	mb := NewModule("t")
+	f := mb.Func("main", 0)
+	l := f.NewLabel()
+	f.Bind(l)
+	f.Bind(l)
+	f.RetVoid()
+	if _, err := mb.Build(); err == nil {
+		t.Fatal("double-bound label accepted")
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic on invalid module")
+		}
+	}()
+	mb := NewModule("t") // no main
+	mb.MustBuild()
+}
+
+func TestCallArityChecked(t *testing.T) {
+	mb := NewModule("t")
+	f := mb.Func("main", 0)
+	f.CallVoid("two", C(1)) // wrong arity
+	f.RetVoid()
+	two := mb.Func("two", 2)
+	two.RetVoid()
+	if _, err := mb.Build(); err == nil {
+		t.Fatal("wrong-arity call accepted")
+	}
+}
+
+func TestAllocaSizeValidated(t *testing.T) {
+	mb := NewModule("t")
+	f := mb.Func("main", 0)
+	f.Alloca(0)
+	f.RetVoid()
+	if _, err := mb.Build(); err == nil {
+		t.Fatal("zero-size alloca accepted")
+	}
+}
+
+func TestOperandStringForms(t *testing.T) {
+	if R(3).operand().String() != "r3" {
+		t.Error("register operand string wrong")
+	}
+	if C(7).String() != "#7" {
+		t.Error("immediate operand string wrong")
+	}
+	if noneOperand.String() != "_" {
+		t.Error("none operand string wrong")
+	}
+}
+
+func TestOperandAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Reg on imm", func() { C(1).Reg() })
+	mustPanic("Imm on reg", func() { R(1).operand().Imm() })
+	mustPanic("ReadSlot range", func() {
+		in := Instr{Op: OpMov, Dst: 0, A: C(1), B: noneOperand, C: noneOperand}
+		in.ReadSlot(0)
+	})
+}
+
+func TestDisassembleCoversOpShapes(t *testing.T) {
+	mb := NewModule("shapes")
+	g := mb.GlobalU32s([]uint32{1})
+	f := mb.Func("main", 0)
+	v := f.Load32(C(g), 0)
+	f.Store32(C(g), v, 0)
+	buf := f.Alloca(16)
+	f.Store32(buf, f.Select(f.Eq(v, C(1)), C(2), C(3)), 0)
+	l := f.NewLabel()
+	f.JmpIf(v, l)
+	f.Bind(l)
+	r := f.Call("aux", v)
+	f.Out32(r)
+	f.Abort()
+	aux := mb.Func("aux", 1)
+	aux.Ret(aux.Arg(0))
+	asm := Disassemble(mb.MustBuild())
+	for _, want := range []string{
+		"load.i32", "store.i32", "alloca", "select", "condbr", "call",
+		"out.i32", "abort", "ret r0", "16 bytes", "? ",
+	} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, asm)
+		}
+	}
+}
+
+func TestStaticInstrsAndFuncByName(t *testing.T) {
+	mb := NewModule("t")
+	f := mb.Func("main", 0)
+	f.Out32(C(1))
+	f.RetVoid()
+	aux := mb.Func("aux", 0)
+	aux.RetVoid()
+	p := mb.MustBuild()
+	if p.StaticInstrs() != 3 {
+		t.Errorf("static instrs = %d, want 3", p.StaticInstrs())
+	}
+	if p.FuncByName("aux") != 1 || p.FuncByName("nope") != -1 {
+		t.Error("FuncByName wrong")
+	}
+}

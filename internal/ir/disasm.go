@@ -1,0 +1,76 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a human-readable listing of the program, one
+// instruction per line, for debugging benchmark construction and for
+// documenting what the injector targets.
+func Disassemble(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; program %s: %d funcs, %d global bytes\n",
+		p.Name, len(p.Funcs), len(p.Globals))
+	for fi, f := range p.Funcs {
+		marker := ""
+		if fi == p.Main {
+			marker = " ; entry"
+		}
+		fmt.Fprintf(&b, "\nfunc %s(args=%d, regs=%d)%s\n", f.Name, f.NumArgs, f.NumRegs, marker)
+		for pc := range f.Code {
+			b.WriteString(formatInstr(p, &f.Code[pc], pc))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func formatInstr(p *Program, in *Instr, pc int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %4d: ", pc)
+	if in.HasDst() {
+		fmt.Fprintf(&b, "r%d = ", in.Dst)
+	}
+	b.WriteString(in.Op.String())
+	if in.W != 0 {
+		fmt.Fprintf(&b, ".%s", in.W)
+	}
+	switch in.Op {
+	case OpBr:
+		fmt.Fprintf(&b, " -> %d", in.Off)
+	case OpCondBr:
+		fmt.Fprintf(&b, " %s -> %d", in.A, in.Off)
+	case OpCall:
+		name := fmt.Sprintf("f%d", in.Off)
+		if in.Off >= 0 && in.Off < int64(len(p.Funcs)) {
+			name = p.Funcs[in.Off].Name
+		}
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = a.String()
+		}
+		fmt.Fprintf(&b, " %s(%s)", name, strings.Join(args, ", "))
+	case OpLoad:
+		fmt.Fprintf(&b, " [%s%+d]", in.A, in.Off)
+	case OpStore:
+		fmt.Fprintf(&b, " [%s%+d] <- %s", in.A, in.Off, in.B)
+	case OpAlloca:
+		fmt.Fprintf(&b, " %d bytes", in.Off)
+	case OpSelect:
+		fmt.Fprintf(&b, " %s ? %s : %s", in.A, in.B, in.C)
+	case OpRet:
+		if !in.A.IsNone() {
+			fmt.Fprintf(&b, " %s", in.A)
+		}
+	case OpAbort:
+	default:
+		if !in.A.IsNone() {
+			fmt.Fprintf(&b, " %s", in.A)
+		}
+		if !in.B.IsNone() {
+			fmt.Fprintf(&b, ", %s", in.B)
+		}
+	}
+	return b.String()
+}

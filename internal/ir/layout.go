@@ -1,0 +1,25 @@
+package ir
+
+// Virtual-address-space layout shared by the builder (which embeds global
+// addresses as immediates) and the VM (which maps segments).
+//
+// Segments are deliberately sparse: the vast majority of the 64-bit address
+// space is unmapped, so a bit flip in an address operand usually produces
+// an access outside every segment and raises a segmentation-fault trap —
+// mirroring how corrupted pointers behave on paged hardware, which is the
+// dominant source of the paper's "Detected by Hardware Exception" outcomes.
+const (
+	// NullGuardSize is the size of the unmapped region at address zero;
+	// accesses below it always fault (null-pointer dereference).
+	NullGuardSize = 0x1000
+
+	// GlobalBase is the base virtual address of the global data segment.
+	GlobalBase = 0x0000_0000_1000_0000
+
+	// StackBase is the base virtual address of the stack segment. The
+	// stack grows upward from StackBase in this model.
+	StackBase = 0x0000_7fff_f000_0000
+
+	// StackSize is the size of the stack segment in bytes.
+	StackSize = 1 << 20
+)

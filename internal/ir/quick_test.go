@@ -1,0 +1,103 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestSlotWidthDefinedForAllSlots: for any instruction shape, SlotWidth
+// must return a usable width (>= 1 bit) for every read slot RegReads
+// enumerates, in the same order.
+func TestSlotWidthDefinedForAllSlots(t *testing.T) {
+	ops := []Op{
+		OpAdd, OpSub, OpMul, OpUDiv, OpAnd, OpShl, OpFAdd, OpFMul, OpFNeg,
+		OpSExt, OpZExt, OpTrunc, OpSIToFP, OpFPToSI, OpBitcast,
+		OpICmpEQ, OpICmpSLT, OpFCmpLT, OpMov, OpSelect, OpLoad, OpStore,
+		OpCondBr, OpRet, OpOut,
+	}
+	widths := []Width{W8, W16, W32, W64}
+	mkOperand := func(kind uint8, reg uint8) Operand {
+		switch kind % 3 {
+		case 0:
+			return R(Reg(reg))
+		case 1:
+			return C(uint64(reg))
+		default:
+			return noneOperand
+		}
+	}
+	f := func(opIdx, wIdx, ka, ra, kb, rb, kc, rc uint8) bool {
+		in := Instr{
+			Op:  ops[int(opIdx)%len(ops)],
+			W:   widths[int(wIdx)%len(widths)],
+			Dst: 1,
+			A:   mkOperand(ka, ra),
+			B:   mkOperand(kb, rb),
+			C:   mkOperand(kc, rc),
+		}
+		n := in.NumRegReads()
+		if n != len(in.RegReads(nil)) {
+			return false
+		}
+		for slot := 0; slot < n; slot++ {
+			if SlotWidth(&in, slot).Bits() < 1 {
+				return false
+			}
+			// ReadSlot must return the register RegReads lists.
+			if in.ReadSlot(slot) != in.RegReads(nil)[slot] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDestWidthPositive: any instruction with a destination has a usable
+// dest width.
+func TestDestWidthPositive(t *testing.T) {
+	for op := OpAdd; op <= OpAbort; op++ {
+		for _, w := range []Width{W8, W32, W64} {
+			in := Instr{Op: op, W: w, Dst: 1, A: R(0), B: R(0), C: R(0)}
+			if got := DestWidth(&in); got.Bits() < 1 {
+				t.Errorf("DestWidth(%v, %v) = %v", op, w, got)
+			}
+		}
+		in := Instr{Op: op, W: W32, Dst: NoReg, A: R(0), B: R(0), C: R(0)}
+		if DestWidth(&in) != 0 {
+			t.Errorf("DestWidth of dst-less %v should be 0", op)
+		}
+	}
+}
+
+// TestSignExtendRoundTrip: masking a sign-extended value recovers the
+// original payload.
+func TestSignExtendRoundTrip(t *testing.T) {
+	f := func(v uint64, wIdx uint8) bool {
+		w := []Width{W8, W16, W32, W64}[int(wIdx)%4]
+		masked := v & w.Mask()
+		return uint64(w.SignExtend(masked))&w.Mask() == masked
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWidthMaskMatchesBits: Mask always covers exactly Bits low bits.
+func TestWidthMaskMatchesBits(t *testing.T) {
+	for _, w := range []Width{W1, W8, W16, W32, W64} {
+		mask := w.Mask()
+		bits := w.Bits()
+		if bits == 64 {
+			if mask != ^uint64(0) {
+				t.Errorf("%v mask wrong", w)
+			}
+			continue
+		}
+		if mask != 1<<uint(bits)-1 {
+			t.Errorf("%v: mask %#x does not match %d bits", w, mask, bits)
+		}
+	}
+}

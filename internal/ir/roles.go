@@ -1,0 +1,143 @@
+package ir
+
+import "fmt"
+
+// SlotRole classifies what kind of data a register operand carries. The
+// paper explains the outcome differences between programs and techniques
+// through exactly this distinction (§IV-A, §IV-C2): errors in memory
+// addresses are mostly caught by hardware exceptions, errors in data
+// values mostly surface as benign or SDC outcomes, and errors in branch
+// conditions redirect control flow.
+type SlotRole uint8
+
+// Roles.
+const (
+	// RoleAddress marks pointer-carrying operands: load/store addresses
+	// and 64-bit integer arithmetic, which the builder DSL uses for
+	// address computation.
+	RoleAddress SlotRole = iota + 1
+	// RoleData marks narrow (< 64-bit) integer value operands.
+	RoleData
+	// RoleControl marks branch and select conditions.
+	RoleControl
+	// RoleFloat marks floating-point operands.
+	RoleFloat
+	// RoleOther marks untyped 64-bit moves, call arguments and returns.
+	RoleOther
+
+	// NumSlotRoles sizes role-indexed arrays (roles start at 1).
+	NumSlotRoles = 6
+)
+
+// String implements fmt.Stringer.
+func (r SlotRole) String() string {
+	switch r {
+	case RoleAddress:
+		return "address"
+	case RoleData:
+		return "data"
+	case RoleControl:
+		return "control"
+	case RoleFloat:
+		return "float"
+	case RoleOther:
+		return "other"
+	}
+	return fmt.Sprintf("SlotRole(%d)", uint8(r))
+}
+
+// ReadSlotRole returns the role of the slot-th register operand read by
+// in (RegReads order).
+func ReadSlotRole(in *Instr, slot int) SlotRole {
+	if in.A.IsReg() {
+		if slot == 0 {
+			return roleOfA(in)
+		}
+		slot--
+	}
+	if in.B.IsReg() {
+		if slot == 0 {
+			return roleOfB(in)
+		}
+		slot--
+	}
+	if in.C.IsReg() && slot == 0 {
+		return RoleOther // select alternative value
+	}
+	return RoleOther // call arguments
+}
+
+// DestRole returns the role of the register written by in, or 0 when in
+// writes no register.
+func DestRole(in *Instr) SlotRole {
+	if !in.HasDst() {
+		return 0
+	}
+	switch in.Op {
+	case OpAlloca:
+		return RoleAddress
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFNeg, OpFAbs, OpFSqrt, OpSIToFP:
+		return RoleFloat
+	case OpICmpEQ, OpICmpNE, OpICmpULT, OpICmpULE, OpICmpSLT, OpICmpSLE,
+		OpFCmpEQ, OpFCmpNE, OpFCmpLT, OpFCmpLE:
+		return RoleControl
+	case OpAdd, OpSub, OpMul, OpUDiv, OpSDiv, OpURem, OpSRem,
+		OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr:
+		if in.W == W64 {
+			return RoleAddress // the DSL computes addresses in 64-bit
+		}
+		return RoleData
+	case OpLoad, OpTrunc, OpZExt, OpSExt, OpFPToSI:
+		if in.W == W64 {
+			return RoleOther
+		}
+		return RoleData
+	default:
+		return RoleOther
+	}
+}
+
+func roleOfA(in *Instr) SlotRole {
+	switch in.Op {
+	case OpLoad, OpStore:
+		return RoleAddress
+	case OpCondBr, OpSelect:
+		return RoleControl
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFNeg, OpFAbs, OpFSqrt,
+		OpFCmpEQ, OpFCmpNE, OpFCmpLT, OpFCmpLE, OpFPToSI:
+		return RoleFloat
+	case OpAdd, OpSub, OpMul, OpUDiv, OpSDiv, OpURem, OpSRem,
+		OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr,
+		OpICmpEQ, OpICmpNE, OpICmpULT, OpICmpULE, OpICmpSLT, OpICmpSLE:
+		if in.W == W64 {
+			return RoleAddress
+		}
+		return RoleData
+	case OpSExt, OpZExt, OpTrunc, OpSIToFP, OpOut:
+		if in.W == W64 {
+			return RoleOther
+		}
+		return RoleData
+	default:
+		return RoleOther
+	}
+}
+
+func roleOfB(in *Instr) SlotRole {
+	switch in.Op {
+	case OpStore:
+		if in.W == W64 {
+			return RoleOther
+		}
+		return RoleData
+	case OpSelect:
+		return RoleOther
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFCmpEQ, OpFCmpNE, OpFCmpLT, OpFCmpLE:
+		return RoleFloat
+	default:
+		if in.W == W64 {
+			return RoleAddress
+		}
+		return RoleData
+	}
+}

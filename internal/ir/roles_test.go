@@ -1,0 +1,82 @@
+package ir
+
+import "testing"
+
+// mk builds a test instruction with absent operands explicitly marked, the
+// way the builder emits them.
+func mk(op Op, w Width, dst Reg, ops ...Operand) Instr {
+	in := Instr{Op: op, W: w, Dst: dst, A: noneOperand, B: noneOperand, C: noneOperand}
+	if len(ops) > 0 {
+		in.A = ops[0]
+	}
+	if len(ops) > 1 {
+		in.B = ops[1]
+	}
+	if len(ops) > 2 {
+		in.C = ops[2]
+	}
+	return in
+}
+
+func TestReadSlotRoles(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Instr
+		slot int
+		want SlotRole
+	}{
+		{"load addr", mk(OpLoad, W32, 1, R(2)), 0, RoleAddress},
+		{"store addr", mk(OpStore, W32, NoReg, R(2), R(3)), 0, RoleAddress},
+		{"store value", mk(OpStore, W32, NoReg, R(2), R(3)), 1, RoleData},
+		{"store value 64", mk(OpStore, W64, NoReg, R(2), R(3)), 1, RoleOther},
+		{"condbr", mk(OpCondBr, 0, NoReg, R(2)), 0, RoleControl},
+		{"select cond", mk(OpSelect, W64, 1, R(2), R(3), R(4)), 0, RoleControl},
+		{"fadd", mk(OpFAdd, W64, 1, R(2), R(3)), 0, RoleFloat},
+		{"i32 add", mk(OpAdd, W32, 1, R(2), R(3)), 0, RoleData},
+		{"i64 add (address arith)", mk(OpAdd, W64, 1, R(2), R(3)), 0, RoleAddress},
+		{"mov", mk(OpMov, W64, 1, R(2)), 0, RoleOther},
+		{"out data", mk(OpOut, W32, NoReg, R(2)), 0, RoleData},
+	}
+	for _, tt := range tests {
+		if got := ReadSlotRole(&tt.in, tt.slot); got != tt.want {
+			t.Errorf("%s: role = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+	// Call arguments are RoleOther.
+	call := mk(OpCall, W64, 1)
+	call.Args = []Operand{R(4)}
+	if got := ReadSlotRole(&call, 0); got != RoleOther {
+		t.Errorf("call arg role = %v, want other", got)
+	}
+}
+
+func TestDestRoles(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Instr
+		want SlotRole
+	}{
+		{"alloca", mk(OpAlloca, W64, 1), RoleAddress},
+		{"fmul", mk(OpFMul, W64, 1, R(2), R(3)), RoleFloat},
+		{"icmp", mk(OpICmpEQ, W32, 1, R(2), R(3)), RoleControl},
+		{"i32 add", mk(OpAdd, W32, 1, R(2), R(3)), RoleData},
+		{"i64 add", mk(OpAdd, W64, 1, R(2), R(3)), RoleAddress},
+		{"load32", mk(OpLoad, W32, 1, R(2)), RoleData},
+		{"load64", mk(OpLoad, W64, 1, R(2)), RoleOther},
+		{"mov", mk(OpMov, W64, 1, R(2)), RoleOther},
+		{"store (no dst)", mk(OpStore, W32, NoReg, R(2), R(3)), 0},
+	}
+	for _, tt := range tests {
+		if got := DestRole(&tt.in); got != tt.want {
+			t.Errorf("%s: dest role = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	for _, r := range []SlotRole{RoleAddress, RoleData, RoleControl, RoleFloat, RoleOther} {
+		if r.String() == "" || r.String()[0] == 'S' {
+			t.Errorf("role %d has no name", r)
+		}
+	}
+}

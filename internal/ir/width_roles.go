@@ -1,0 +1,93 @@
+package ir
+
+// This file defines the effective bit width of each register an instruction
+// reads or writes. The fault injector flips bits uniformly within that
+// width, mirroring LLFI, which flips bits within the data width of the
+// targeted LLVM IR register (an i32 value yields 32 candidate bits, an i1
+// branch condition a single bit, a pointer 64 bits).
+
+// W1 models LLVM's i1: comparison results and branch conditions. Flipping
+// an i1 register always inverts it. W1 is only used to describe injection
+// widths; instructions themselves carry W8..W64.
+const W1 Width = 200
+
+// DestWidth returns the effective width of the register written by in, for
+// inject-on-write bit sampling. It returns 0 if in writes no register.
+func DestWidth(in *Instr) Width {
+	if !in.HasDst() {
+		return 0
+	}
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpUDiv, OpSDiv, OpURem, OpSRem,
+		OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr, OpTrunc, OpFPToSI, OpLoad:
+		return in.W
+	case OpICmpEQ, OpICmpNE, OpICmpULT, OpICmpULE, OpICmpSLT, OpICmpSLE,
+		OpFCmpEQ, OpFCmpNE, OpFCmpLT, OpFCmpLE:
+		return W1
+	default:
+		// Float arithmetic, moves, selects, allocas, calls, extensions.
+		return W64
+	}
+}
+
+// SlotWidth returns the effective width of the slot-th register operand
+// read by in (in RegReads order), for inject-on-read bit sampling.
+func SlotWidth(in *Instr, slot int) Width {
+	if in.A.IsReg() {
+		if slot == 0 {
+			return widthOfA(in)
+		}
+		slot--
+	}
+	if in.B.IsReg() {
+		if slot == 0 {
+			return widthOfB(in)
+		}
+		slot--
+	}
+	if in.C.IsReg() {
+		if slot == 0 {
+			return W64 // OpSelect alternative value
+		}
+		slot--
+	}
+	// Call arguments: full payload width (they may carry addresses).
+	return W64
+}
+
+func widthOfA(in *Instr) Width {
+	switch in.Op {
+	case OpLoad, OpStore:
+		return W64 // address operand
+	case OpCondBr:
+		return W1 // branch condition (i1)
+	case OpSelect:
+		return W1 // select condition (i1)
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFNeg, OpFAbs, OpFSqrt,
+		OpFCmpEQ, OpFCmpNE, OpFCmpLT, OpFCmpLE, OpFPToSI:
+		return W64
+	case OpMov, OpRet, OpBitcast:
+		return W64
+	case OpAdd, OpSub, OpMul, OpUDiv, OpSDiv, OpURem, OpSRem,
+		OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr,
+		OpICmpEQ, OpICmpNE, OpICmpULT, OpICmpULE, OpICmpSLT, OpICmpSLE,
+		OpSExt, OpZExt, OpTrunc, OpSIToFP, OpOut:
+		return in.W
+	default:
+		return W64
+	}
+}
+
+func widthOfB(in *Instr) Width {
+	switch in.Op {
+	case OpStore:
+		return in.W // stored value
+	case OpSelect:
+		return W64 // selected value
+	case OpFAdd, OpFSub, OpFMul, OpFDiv,
+		OpFCmpEQ, OpFCmpNE, OpFCmpLT, OpFCmpLE:
+		return W64
+	default:
+		return in.W
+	}
+}

@@ -1,0 +1,170 @@
+// Package memfault implements the paper's stated future work (§V):
+// multiple-bit faults in MEMORY rather than in registers.
+//
+// ECC memory corrects single-bit errors and detects double-bit errors per
+// word, but three or more flipped bits in the same word can escape ECC
+// entirely (§II-A). A memfault experiment therefore flips k distinct bits
+// of one 64-bit word of the program's global data at a uniformly sampled
+// dynamic instant and classifies the outcome with the same §III-E
+// categories as the register campaigns.
+//
+// Unlike register faults, memory faults are not filtered for liveness: a
+// corrupted word may never be read again, so low activation — a high
+// Benign share — is part of the phenomenon being measured.
+package memfault
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"multiflip/internal/core"
+	"multiflip/internal/vm"
+	"multiflip/internal/xrand"
+)
+
+// Spec describes a memory-fault campaign.
+type Spec struct {
+	// Target is the prepared workload.
+	Target *core.Target
+	// Bits is the number of distinct bits flipped in one 64-bit word.
+	// 1 and 2 model faults ECC would catch (baseline); >= 3 model the
+	// ECC-escaping faults the paper's future work targets.
+	Bits int
+	// N is the number of experiments.
+	N int
+	// Seed makes the campaign reproducible.
+	Seed uint64
+	// HangFactor scales the hang budget (0 = core.DefaultHangFactor).
+	HangFactor uint64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (s *Spec) validate() error {
+	if s.Target == nil {
+		return fmt.Errorf("memfault: campaign needs a target")
+	}
+	if s.Bits < 1 || s.Bits > 64 {
+		return fmt.Errorf("memfault: bits must be in [1,64], got %d", s.Bits)
+	}
+	if s.N <= 0 {
+		return fmt.Errorf("memfault: campaign needs N > 0")
+	}
+	if len(s.Target.Prog.Globals) < 8 {
+		return fmt.Errorf("memfault: target %s has no global words", s.Target.Name)
+	}
+	return nil
+}
+
+// Result aggregates a memory-fault campaign.
+type Result struct {
+	// Spec echoes the campaign parameters.
+	Spec Spec
+	// Counts indexes experiment totals by core.Outcome.
+	Counts [core.NumOutcomes + 1]int
+}
+
+// N returns the number of experiments performed.
+func (r *Result) N() int {
+	n := 0
+	for _, c := range r.Counts {
+		n += c
+	}
+	return n
+}
+
+// Pct returns the percentage of experiments in category o.
+func (r *Result) Pct(o core.Outcome) float64 {
+	n := r.N()
+	if n == 0 {
+		return 0
+	}
+	return 100 * float64(r.Counts[o]) / float64(n)
+}
+
+// SDCPct returns the silent-data-corruption percentage.
+func (r *Result) SDCPct() float64 { return r.Pct(core.OutcomeSDC) }
+
+// CI95 returns the 95% confidence half-width of category o in percentage
+// points (normal approximation).
+func (r *Result) CI95(o core.Outcome) float64 {
+	n := r.N()
+	if n == 0 {
+		return 0
+	}
+	p := float64(r.Counts[o]) / float64(n)
+	return 100 * 1.96 * math.Sqrt(p*(1-p)/float64(n))
+}
+
+// Run executes the campaign. Like register campaigns, results are
+// reproducible for any worker count.
+func Run(spec Spec) (*Result, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > spec.N {
+		workers = spec.N
+	}
+	hangFactor := spec.HangFactor
+	if hangFactor == 0 {
+		hangFactor = core.DefaultHangFactor
+	}
+	t := spec.Target
+	words := uint64(len(t.Prog.Globals)) / 8
+
+	outcomes := make([]core.Outcome, spec.N)
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		firstMu  sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= spec.N {
+					return
+				}
+				rng := xrand.ForExperiment(spec.Seed, uint64(i))
+				flip := vm.MemFlip{
+					AtDyn: rng.Uint64n(t.GoldenDyn),
+					Word:  rng.Uint64n(words) * 8,
+					Mask:  rng.DistinctBits(spec.Bits, 64),
+				}
+				res, err := vm.Run(t.Prog, vm.Options{
+					MaxDyn:    hangFactor*t.GoldenDyn + 1000,
+					MaxOutput: 4*len(t.Golden) + 4096,
+					MemFlips:  []vm.MemFlip{flip},
+				})
+				if err != nil {
+					firstMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("memfault: %s experiment %d: %w", t.Name, i, err)
+					}
+					firstMu.Unlock()
+					return
+				}
+				outcomes[i] = t.Classify(res)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	r := &Result{Spec: spec}
+	for _, o := range outcomes {
+		r.Counts[o]++
+	}
+	return r, nil
+}

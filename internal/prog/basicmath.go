@@ -1,0 +1,194 @@
+package prog
+
+import (
+	"math"
+
+	"multiflip/internal/ir"
+)
+
+// Basicmath workload dimensions.
+const (
+	basicmathCubics    = 16  // cubic-equation coefficient sets
+	basicmathNewton    = 24  // Newton iterations per cubic
+	basicmathUsqrts    = 64  // integer square roots
+	basicmathAngles    = 180 // degree→radian conversions
+	basicmathPiOver180 = math.Pi / 180
+)
+
+// basicmathCoeffs returns deterministic monic-cubic coefficient triples
+// (b, c, d) for x^3 + b x^2 + c x + d.
+func basicmathCoeffs() [][3]float64 {
+	r := inputRand("basicmath")
+	sets := make([][3]float64, basicmathCubics)
+	for i := range sets {
+		sets[i] = [3]float64{
+			-8 + 16*r.Float64(),
+			-8 + 16*r.Float64(),
+			-8 + 16*r.Float64(),
+		}
+	}
+	return sets
+}
+
+// basicmathUsqrtInputs returns deterministic integer square-root inputs.
+func basicmathUsqrtInputs() []uint32 {
+	r := inputRand("basicmath-usqrt")
+	vals := make([]uint32, basicmathUsqrts)
+	for i := range vals {
+		vals[i] = uint32(r.Uint64n(1 << 30))
+	}
+	return vals
+}
+
+// buildBasicmath constructs the mixed math workload of MiBench's
+// basicmath: cubic-equation roots (Newton iteration plus quadratic
+// deflation), bit-by-bit integer square roots, and a degree→radian
+// accumulation loop.
+func buildBasicmath() (*ir.Program, error) {
+	coeffs := basicmathCoeffs()
+	usqrtIn := basicmathUsqrtInputs()
+	mb := ir.NewModule("basicmath")
+	var flatCoeffs []float64
+	for _, s := range coeffs {
+		flatCoeffs = append(flatCoeffs, s[0], s[1], s[2])
+	}
+	gCoef := mb.GlobalF64s(flatCoeffs)
+	gU := mb.GlobalU32s(usqrtIn)
+
+	main := mb.Func("main", 0)
+	main.For(ir.C(0), ir.C(basicmathCubics), func(i ir.Reg) {
+		base := main.Idx(ir.C(gCoef), main.Mul(i, ir.C(3)), 8)
+		main.CallVoid("solve_cubic",
+			main.LoadF(base, 0), main.LoadF(base, 8), main.LoadF(base, 16))
+	})
+	main.For(ir.C(0), ir.C(basicmathUsqrts), func(i ir.Reg) {
+		main.Out32(main.Call("usqrt", main.Load32(main.Idx(ir.C(gU), i, 4), 0)))
+	})
+	// Degree -> radian accumulation.
+	acc := main.Let(ir.CF(0))
+	deg := main.Let(ir.CF(0))
+	main.For(ir.C(0), ir.C(basicmathAngles), func(i ir.Reg) {
+		main.Mov(acc, main.Fadd(acc, main.Fmul(deg, ir.CF(basicmathPiOver180))))
+		main.Mov(deg, main.Fadd(deg, ir.CF(1)))
+	})
+	main.Out64(acc)
+	main.RetVoid()
+
+	// solve_cubic(b, c, d): one real root via Newton from x0 = 1 - b,
+	// then deflation to a quadratic solved by discriminant. Emits the real
+	// root, then either the two real roots or (re, im) of the conjugate
+	// pair.
+	sc := mb.Func("solve_cubic", 3)
+	b, c, d := sc.Arg(0), sc.Arg(1), sc.Arg(2)
+	x := sc.Let(sc.Fsub(ir.CF(1), b))
+	sc.For(ir.C(0), ir.C(basicmathNewton), func(i ir.Reg) {
+		x2 := sc.Fmul(x, x)
+		x3 := sc.Fmul(x2, x)
+		fx := sc.Fadd(sc.Fadd(x3, sc.Fmul(b, x2)), sc.Fadd(sc.Fmul(c, x), d))
+		fpx := sc.Fadd(sc.Fadd(sc.Fmul(ir.CF(3), x2), sc.Fmul(sc.Fmul(ir.CF(2), b), x)), c)
+		sc.Mov(x, sc.Fsub(x, sc.Fdiv(fx, fpx)))
+	})
+	sc.Out64(x)
+	// Deflate: x^3+bx^2+cx+d = (x - r)(x^2 + px + q).
+	p := sc.Fadd(b, x)
+	q := sc.Fadd(c, sc.Fmul(p, x))
+	disc := sc.Fsub(sc.Fmul(p, p), sc.Fmul(ir.CF(4), q))
+	sc.IfElse(sc.Fge(disc, ir.CF(0)), func() {
+		s := sc.Fsqrt(disc)
+		sc.Out64(sc.Fdiv(sc.Fadd(sc.Fneg(p), s), ir.CF(2)))
+		sc.Out64(sc.Fdiv(sc.Fsub(sc.Fneg(p), s), ir.CF(2)))
+	}, func() {
+		sc.Out64(sc.Fdiv(sc.Fneg(p), ir.CF(2)))
+		sc.Out64(sc.Fdiv(sc.Fsqrt(sc.Fneg(disc)), ir.CF(2)))
+	})
+	sc.RetVoid()
+
+	// usqrt(v): classic bit-by-bit integer square root.
+	us := mb.Func("usqrt", 1)
+	v := us.Let(us.Arg(0))
+	root := us.Let(ir.C(0))
+	bit := us.Let(ir.C(1 << 30))
+	us.While(func() ir.Src { return us.Ugt(bit, v) }, func() {
+		us.Mov(bit, us.Lshr(bit, ir.C(2)))
+	})
+	us.While(func() ir.Src { return us.Ne(bit, ir.C(0)) }, func() {
+		sum := us.Add(root, bit)
+		us.IfElse(us.Uge(v, sum), func() {
+			us.Mov(v, us.Sub(v, sum))
+			us.Mov(root, us.Add(us.Lshr(root, ir.C(1)), bit))
+		}, func() {
+			us.Mov(root, us.Lshr(root, ir.C(1)))
+		})
+		us.Mov(bit, us.Lshr(bit, ir.C(2)))
+	})
+	us.Ret(root)
+	return mb.Build()
+}
+
+// refBasicmathOutput computes the expected output host-side with the same
+// operation order.
+func refBasicmathOutput() []byte {
+	var out outputBuf
+	for _, s := range basicmathCoeffs() {
+		b, c, d := s[0], s[1], s[2]
+		x := 1 - b
+		for i := 0; i < basicmathNewton; i++ {
+			x2 := x * x
+			x3 := x2 * x
+			t1 := b * x2
+			t2 := c * x
+			fx := (x3 + t1) + (t2 + d)
+			u1 := 3 * x2
+			u2 := 2 * b
+			u3 := u2 * x
+			fpx := (u1 + u3) + c
+			x = x - fx/fpx
+		}
+		out.f64(x)
+		p := b + x
+		pm := p * x
+		q := c + pm
+		pp := p * p
+		q4 := 4 * q
+		disc := pp - q4
+		if disc >= 0 {
+			s := math.Sqrt(disc)
+			out.f64((-p + s) / 2)
+			out.f64((-p - s) / 2)
+		} else {
+			out.f64(-p / 2)
+			out.f64(math.Sqrt(-disc) / 2)
+		}
+	}
+	for _, u := range basicmathUsqrtInputs() {
+		out.u32(refUsqrt(u))
+	}
+	acc, deg := 0.0, 0.0
+	for i := 0; i < basicmathAngles; i++ {
+		m := deg * basicmathPiOver180
+		acc = acc + m
+		deg = deg + 1
+	}
+	out.f64(acc)
+	return out.bytes
+}
+
+// refUsqrt mirrors the IR usqrt.
+func refUsqrt(v uint32) uint32 {
+	var root uint32
+	bit := uint32(1 << 30)
+	for bit > v {
+		bit >>= 2
+	}
+	for bit != 0 {
+		sum := root + bit
+		if v >= sum {
+			v -= sum
+			root = root>>1 + bit
+		} else {
+			root >>= 1
+		}
+		bit >>= 2
+	}
+	return root
+}

@@ -1,0 +1,77 @@
+package prog
+
+import (
+	"multiflip/internal/ir"
+)
+
+// BFS workload dimensions.
+const (
+	bfsNodes     = 256
+	bfsAvgDegree = 4
+)
+
+// bfsGraph returns the deterministic irregular graph in CSR form (stands
+// in for Parboil's New York road map): rowPtr has bfsNodes+1 entries.
+func bfsGraph() (rowPtr, colIdx []uint32) {
+	r := inputRand("bfs")
+	adj := make([][]uint32, bfsNodes)
+	for i := 0; i < bfsNodes; i++ {
+		deg := 1 + r.Intn(2*bfsAvgDegree-1)
+		seen := map[uint32]bool{}
+		for d := 0; d < deg; d++ {
+			t := uint32(r.Intn(bfsNodes))
+			if t != uint32(i) && !seen[t] {
+				seen[t] = true
+				adj[i] = append(adj[i], t)
+			}
+		}
+	}
+	rowPtr = make([]uint32, bfsNodes+1)
+	for i, row := range adj {
+		rowPtr[i+1] = rowPtr[i] + uint32(len(row))
+		colIdx = append(colIdx, row...)
+	}
+	return rowPtr, colIdx
+}
+
+// buildBFS constructs a queue-based breadth-first search from node 0 over
+// the CSR graph, emitting every node's shortest-path cost in uniform-weight
+// hops (-1 for unreachable nodes).
+func buildBFS() (*ir.Program, error) {
+	rowPtr, colIdx := bfsGraph()
+	mb := ir.NewModule("bfs")
+	gRow := mb.GlobalU32s(rowPtr)
+	gCol := mb.GlobalU32s(colIdx)
+	gDist := mb.GlobalZero(bfsNodes * 4)
+	gQueue := mb.GlobalZero(bfsNodes * 4)
+
+	f := mb.Func("main", 0)
+	f.For(ir.C(0), ir.C(bfsNodes), func(i ir.Reg) {
+		f.Store32(f.Idx(ir.C(gDist), i, 4), ir.CI(-1), 0)
+	})
+	f.Store32(ir.C(gDist), ir.C(0), 0) // dist[0] = 0
+	f.Store32(ir.C(gQueue), ir.C(0), 0)
+	head := f.Let(ir.C(0))
+	tail := f.Let(ir.C(1))
+	f.While(func() ir.Src { return f.Slt(head, tail) }, func() {
+		u := f.Load32(f.Idx(ir.C(gQueue), head, 4), 0)
+		f.Mov(head, f.Add(head, ir.C(1)))
+		du := f.Load32(f.Idx(ir.C(gDist), u, 4), 0)
+		start := f.Load32(f.Idx(ir.C(gRow), u, 4), 0)
+		end := f.Load32(f.Idx(ir.C(gRow), f.Add(u, ir.C(1)), 4), 0)
+		f.For(start, end, func(e ir.Reg) {
+			v := f.Load32(f.Idx(ir.C(gCol), e, 4), 0)
+			dv := f.Load32(f.Idx(ir.C(gDist), v, 4), 0)
+			f.If(f.Eq(dv, ir.CI(-1)), func() {
+				f.Store32(f.Idx(ir.C(gDist), v, 4), f.Add(du, ir.C(1)), 0)
+				f.Store32(f.Idx(ir.C(gQueue), tail, 4), v, 0)
+				f.Mov(tail, f.Add(tail, ir.C(1)))
+			})
+		})
+	})
+	f.For(ir.C(0), ir.C(bfsNodes), func(i ir.Reg) {
+		f.Out32(f.Load32(f.Idx(ir.C(gDist), i, 4), 0))
+	})
+	f.RetVoid()
+	return mb.Build()
+}

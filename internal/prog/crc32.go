@@ -1,0 +1,54 @@
+package prog
+
+import (
+	"multiflip/internal/ir"
+)
+
+// crcInputLen is the data-buffer length checksummed by the CRC32 workload.
+const crcInputLen = 512
+
+// crcInput returns the deterministic input buffer (stands in for MiBench's
+// sound file).
+func crcInput() []byte {
+	r := inputRand("CRC32")
+	buf := make([]byte, crcInputLen)
+	for i := range buf {
+		buf[i] = byte(r.Uint64())
+	}
+	return buf
+}
+
+// buildCRC32 constructs the CRC32 workload: it derives the IEEE-802.3
+// reflected lookup table in IR (as the MiBench program does at startup) and
+// folds the input buffer through it, emitting the final checksum.
+func buildCRC32() (*ir.Program, error) {
+	input := crcInput()
+	mb := ir.NewModule("CRC32")
+	gIn := mb.GlobalBytes(input)
+	gTab := mb.GlobalZero(256 * 4)
+
+	f := mb.Func("main", 0)
+	// Build the 256-entry reflected table: for each byte value, eight
+	// conditional polynomial folds.
+	f.For(ir.C(0), ir.C(256), func(i ir.Reg) {
+		c := f.Let(i)
+		f.For(ir.C(0), ir.C(8), func(k ir.Reg) {
+			lsb := f.And(c, ir.C(1))
+			sh := f.Lshr(c, ir.C(1))
+			folded := f.Xor(sh, ir.C(0xEDB88320))
+			f.Mov(c, f.Select(lsb, folded, sh))
+		})
+		f.Store32(f.Idx(ir.C(gTab), i, 4), c, 0)
+	})
+	// Fold the buffer.
+	crc := f.Let(ir.C(0xFFFFFFFF))
+	f.For(ir.C(0), ir.C(crcInputLen), func(i ir.Reg) {
+		b := f.Load8(f.Idx(ir.C(gIn), i, 1), 0)
+		idx := f.And(f.Xor(crc, b), ir.C(0xFF))
+		entry := f.Load32(f.Idx(ir.C(gTab), idx, 4), 0)
+		f.Mov(crc, f.Xor(entry, f.Lshr(crc, ir.C(8))))
+	})
+	f.Out32(f.Xor(crc, ir.C(0xFFFFFFFF)))
+	f.RetVoid()
+	return mb.Build()
+}

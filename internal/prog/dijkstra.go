@@ -1,0 +1,101 @@
+package prog
+
+import (
+	"multiflip/internal/ir"
+)
+
+// Dijkstra workload dimensions.
+const (
+	dijkstraN     = 20         // nodes in the adjacency matrix
+	dijkstraPairs = 6          // (source, destination) queries
+	dijkstraInf   = 0x3FFFFFFF // "no edge" / "unreached" distance
+)
+
+// dijkstraGraph returns the deterministic adjacency matrix (row-major,
+// dijkstraInf marks absent edges) standing in for MiBench's input matrix.
+func dijkstraGraph() []uint32 {
+	r := inputRand("dijkstra")
+	adj := make([]uint32, dijkstraN*dijkstraN)
+	for i := range adj {
+		adj[i] = dijkstraInf
+	}
+	for i := 0; i < dijkstraN; i++ {
+		adj[i*dijkstraN+i] = 0
+		// ~35% edge density with weights 1..20.
+		for j := 0; j < dijkstraN; j++ {
+			if i != j && r.Intn(100) < 35 {
+				adj[i*dijkstraN+j] = uint32(1 + r.Intn(20))
+			}
+		}
+	}
+	return adj
+}
+
+// dijkstraQueries returns the (src, dst) query pairs.
+func dijkstraQueries() [][2]int {
+	r := inputRand("dijkstra-queries")
+	pairs := make([][2]int, dijkstraPairs)
+	for i := range pairs {
+		pairs[i] = [2]int{r.Intn(dijkstraN), r.Intn(dijkstraN)}
+	}
+	return pairs
+}
+
+// buildDijkstra constructs the shortest-path workload: for each query pair
+// it runs a full O(N^2) Dijkstra scan over the adjacency matrix and emits
+// the resulting distance.
+func buildDijkstra() (*ir.Program, error) {
+	adj := dijkstraGraph()
+	pairs := dijkstraQueries()
+	mb := ir.NewModule("dijkstra")
+	gAdj := mb.GlobalU32s(adj)
+	gDist := mb.GlobalZero(dijkstraN * 4)
+	gVisited := mb.GlobalZero(dijkstraN * 4)
+
+	main := mb.Func("main", 0)
+	for _, pq := range pairs {
+		main.Out32(main.Call("shortest", ir.C(uint64(pq[0])), ir.C(uint64(pq[1]))))
+	}
+	main.RetVoid()
+
+	f := mb.Func("shortest", 2) // src, dst -> distance
+	src, dst := f.Arg(0), f.Arg(1)
+	// Initialize dist/visited.
+	f.For(ir.C(0), ir.C(dijkstraN), func(i ir.Reg) {
+		f.Store32(f.Idx(ir.C(gDist), i, 4), ir.C(dijkstraInf), 0)
+		f.Store32(f.Idx(ir.C(gVisited), i, 4), ir.C(0), 0)
+	})
+	f.Store32(f.Idx(ir.C(gDist), src, 4), ir.C(0), 0)
+	// N rounds of select-min + relax.
+	f.For(ir.C(0), ir.C(dijkstraN), func(round ir.Reg) {
+		best := f.Let(ir.C(dijkstraInf + 1))
+		bestIdx := f.Let(ir.CI(-1))
+		f.For(ir.C(0), ir.C(dijkstraN), func(i ir.Reg) {
+			vis := f.Load32(f.Idx(ir.C(gVisited), i, 4), 0)
+			f.If(f.Eq(vis, ir.C(0)), func() {
+				d := f.Load32(f.Idx(ir.C(gDist), i, 4), 0)
+				f.If(f.Ult(d, best), func() {
+					f.Mov(best, d)
+					f.Mov(bestIdx, i)
+				})
+			})
+		})
+		f.If(f.Sge(bestIdx, ir.C(0)), func() {
+			f.Store32(f.Idx(ir.C(gVisited), bestIdx, 4), ir.C(1), 0)
+			du := f.Load32(f.Idx(ir.C(gDist), bestIdx, 4), 0)
+			rowBase := f.Idx(ir.C(gAdj), f.Mul(bestIdx, ir.C(dijkstraN)), 4)
+			f.For(ir.C(0), ir.C(dijkstraN), func(j ir.Reg) {
+				w := f.Load32(f.Idx(rowBase, j, 4), 0)
+				f.If(f.Ult(w, ir.C(dijkstraInf)), func() {
+					cand := f.Add(du, w)
+					dj := f.Load32(f.Idx(ir.C(gDist), j, 4), 0)
+					f.If(f.Ult(cand, dj), func() {
+						f.Store32(f.Idx(ir.C(gDist), j, 4), cand, 0)
+					})
+				})
+			})
+		})
+	})
+	f.Ret(f.Load32(f.Idx(ir.C(gDist), dst, 4), 0))
+	return mb.Build()
+}

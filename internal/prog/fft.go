@@ -1,0 +1,247 @@
+package prog
+
+import (
+	"math"
+
+	"multiflip/internal/ir"
+)
+
+// fftN is the transform size (power of two).
+const fftN = 32
+
+// fftSignal returns the deterministic real input signal.
+func fftSignal() []float64 {
+	r := inputRand("FFT")
+	sig := make([]float64, fftN)
+	for i := range sig {
+		sig[i] = -1 + 2*r.Float64()
+	}
+	return sig
+}
+
+// fftTwiddles returns the cos/sin tables for the butterflies. Trig values
+// are precomputed host-side (the IR has no transcendental ops; a real
+// program would read them from libm — this stands in for that table).
+func fftTwiddles() (cosTab, sinTab []float64) {
+	cosTab = make([]float64, fftN/2)
+	sinTab = make([]float64, fftN/2)
+	for k := range cosTab {
+		ang := -2 * math.Pi * float64(k) / fftN
+		cosTab[k] = math.Cos(ang)
+		sinTab[k] = math.Sin(ang)
+	}
+	return cosTab, sinTab
+}
+
+// fftBits is log2(fftN).
+func fftBits() int {
+	b := 0
+	for 1<<uint(b) < fftN {
+		b++
+	}
+	return b
+}
+
+// emitFFTKernel emits an in-place iterative radix-2 transform over the
+// re/im arrays using the given twiddle tables. Shared by FFT and IFFT.
+func emitFFTKernel(f *ir.FuncBuilder, gRe, gIm, gCos, gSin uint64) {
+	bitsN := fftBits()
+	// Bit-reversal permutation, computing the reversed index in IR.
+	f.For(ir.C(0), ir.C(fftN), func(i ir.Reg) {
+		rev := f.Let(ir.C(0))
+		v := f.Let(i)
+		for b := 0; b < bitsN; b++ {
+			f.Mov(rev, f.Or(f.Shl(rev, ir.C(1)), f.And(v, ir.C(1))))
+			f.Mov(v, f.Lshr(v, ir.C(1)))
+		}
+		f.If(f.Ult(i, rev), func() {
+			pi := f.Idx(ir.C(gRe), i, 8)
+			pr := f.Idx(ir.C(gRe), rev, 8)
+			qi := f.Idx(ir.C(gIm), i, 8)
+			qr := f.Idx(ir.C(gIm), rev, 8)
+			t1 := f.LoadF(pi, 0)
+			f.StoreF(pi, f.LoadF(pr, 0), 0)
+			f.StoreF(pr, t1, 0)
+			t2 := f.LoadF(qi, 0)
+			f.StoreF(qi, f.LoadF(qr, 0), 0)
+			f.StoreF(qr, t2, 0)
+		})
+	})
+	// Butterfly stages.
+	length := f.Let(ir.C(2))
+	f.While(func() ir.Src { return f.Ule(length, ir.C(fftN)) }, func() {
+		half := f.Udiv(length, ir.C(2))
+		step := f.Udiv(ir.C(fftN), length)
+		i := f.Let(ir.C(0))
+		f.While(func() ir.Src { return f.Ult(i, ir.C(fftN)) }, func() {
+			f.For(ir.C(0), half, func(j ir.Reg) {
+				tw := f.Mul(j, step)
+				wr := f.LoadF(f.Idx(ir.C(gCos), tw, 8), 0)
+				wi := f.LoadF(f.Idx(ir.C(gSin), tw, 8), 0)
+				a := f.Add(i, j)
+				b := f.Add(a, half)
+				pa := f.Idx(ir.C(gRe), a, 8)
+				qa := f.Idx(ir.C(gIm), a, 8)
+				pb := f.Idx(ir.C(gRe), b, 8)
+				qb := f.Idx(ir.C(gIm), b, 8)
+				xr := f.LoadF(pb, 0)
+				xi := f.LoadF(qb, 0)
+				// (vr, vi) = (xr, xi) * (wr, wi)
+				vr := f.Fsub(f.Fmul(xr, wr), f.Fmul(xi, wi))
+				vi := f.Fadd(f.Fmul(xr, wi), f.Fmul(xi, wr))
+				ur := f.LoadF(pa, 0)
+				ui := f.LoadF(qa, 0)
+				f.StoreF(pa, f.Fadd(ur, vr), 0)
+				f.StoreF(qa, f.Fadd(ui, vi), 0)
+				f.StoreF(pb, f.Fsub(ur, vr), 0)
+				f.StoreF(qb, f.Fsub(ui, vi), 0)
+			})
+			f.Mov(i, f.Add(i, length))
+		})
+		f.Mov(length, f.Mul(length, ir.C(2)))
+	})
+}
+
+// buildFFT constructs the forward transform of the input signal, emitting
+// the full complex spectrum.
+func buildFFT() (*ir.Program, error) {
+	sig := fftSignal()
+	cosTab, sinTab := fftTwiddles()
+	mb := ir.NewModule("FFT")
+	gRe := mb.GlobalF64s(sig)
+	gIm := mb.GlobalF64s(make([]float64, fftN))
+	gCos := mb.GlobalF64s(cosTab)
+	gSin := mb.GlobalF64s(sinTab)
+
+	f := mb.Func("main", 0)
+	emitFFTKernel(f, gRe, gIm, gCos, gSin)
+	f.For(ir.C(0), ir.C(fftN), func(i ir.Reg) {
+		f.Out64(f.LoadF(f.Idx(ir.C(gRe), i, 8), 0))
+		f.Out64(f.LoadF(f.Idx(ir.C(gIm), i, 8), 0))
+	})
+	f.RetVoid()
+	return mb.Build()
+}
+
+// buildIFFT constructs the inverse transform of the signal's precomputed
+// spectrum (conjugate twiddles plus 1/N scaling), emitting the recovered
+// time-domain samples.
+func buildIFFT() (*ir.Program, error) {
+	// The input spectrum is the host-computed forward transform of the
+	// same signal, so IFFT operates on realistic frequency data.
+	re, im := refFFT(fftSignal())
+	cosTab, sinTab := fftTwiddles()
+	inv := make([]float64, len(sinTab))
+	for i, s := range sinTab {
+		inv[i] = -s // conjugate twiddles
+	}
+	mb := ir.NewModule("IFFT")
+	gRe := mb.GlobalF64s(re)
+	gIm := mb.GlobalF64s(im)
+	gCos := mb.GlobalF64s(cosTab)
+	gSin := mb.GlobalF64s(inv)
+
+	f := mb.Func("main", 0)
+	emitFFTKernel(f, gRe, gIm, gCos, gSin)
+	scale := ir.CF(1.0 / fftN)
+	f.For(ir.C(0), ir.C(fftN), func(i ir.Reg) {
+		f.Out64(f.Fmul(f.LoadF(f.Idx(ir.C(gRe), i, 8), 0), scale))
+		f.Out64(f.Fmul(f.LoadF(f.Idx(ir.C(gIm), i, 8), 0), scale))
+	})
+	f.RetVoid()
+	return mb.Build()
+}
+
+// refFFT runs the identical radix-2 algorithm host-side (same operation
+// order, so results are bit-identical to the VM's). Used to prepare IFFT
+// input and by tests as the reference implementation.
+func refFFT(signal []float64) (re, im []float64) {
+	re = append([]float64(nil), signal...)
+	im = make([]float64, fftN)
+	cosTab, sinTab := fftTwiddles()
+	bitsN := fftBits()
+	for i := 0; i < fftN; i++ {
+		rev := 0
+		v := i
+		for b := 0; b < bitsN; b++ {
+			rev = rev<<1 | v&1
+			v >>= 1
+		}
+		if i < rev {
+			re[i], re[rev] = re[rev], re[i]
+			im[i], im[rev] = im[rev], im[i]
+		}
+	}
+	for length := 2; length <= fftN; length *= 2 {
+		half := length / 2
+		step := fftN / length
+		for i := 0; i < fftN; i += length {
+			for j := 0; j < half; j++ {
+				wr := cosTab[j*step]
+				wi := sinTab[j*step]
+				a, b := i+j, i+j+half
+				xr, xi := re[b], im[b]
+				m1 := xr * wr
+				m2 := xi * wi
+				m3 := xr * wi
+				m4 := xi * wr
+				vr := m1 - m2
+				vi := m3 + m4
+				ur, ui := re[a], im[a]
+				re[a], im[a] = ur+vr, ui+vi
+				re[b], im[b] = ur-vr, ui-vi
+			}
+		}
+	}
+	return re, im
+}
+
+// refIFFT runs the identical inverse transform host-side.
+func refIFFT(re, im []float64) (outRe, outIm []float64) {
+	cosTab, sinTab := fftTwiddles()
+	inv := make([]float64, len(sinTab))
+	for i, s := range sinTab {
+		inv[i] = -s
+	}
+	outRe = append([]float64(nil), re...)
+	outIm = append([]float64(nil), im...)
+	bitsN := fftBits()
+	for i := 0; i < fftN; i++ {
+		rev := 0
+		v := i
+		for b := 0; b < bitsN; b++ {
+			rev = rev<<1 | v&1
+			v >>= 1
+		}
+		if i < rev {
+			outRe[i], outRe[rev] = outRe[rev], outRe[i]
+			outIm[i], outIm[rev] = outIm[rev], outIm[i]
+		}
+	}
+	for length := 2; length <= fftN; length *= 2 {
+		half := length / 2
+		step := fftN / length
+		for i := 0; i < fftN; i += length {
+			for j := 0; j < half; j++ {
+				wr := cosTab[j*step]
+				wi := inv[j*step]
+				a, b := i+j, i+j+half
+				xr, xi := outRe[b], outIm[b]
+				m1 := xr * wr
+				m2 := xi * wi
+				m3 := xr * wi
+				m4 := xi * wr
+				vr := m1 - m2
+				vi := m3 + m4
+				ur, ui := outRe[a], outIm[a]
+				outRe[a], outIm[a] = ur+vr, ui+vi
+				outRe[b], outIm[b] = ur-vr, ui-vi
+			}
+		}
+	}
+	for i := range outRe {
+		outRe[i] *= 1.0 / fftN
+		outIm[i] *= 1.0 / fftN
+	}
+	return outRe, outIm
+}

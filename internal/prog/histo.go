@@ -1,0 +1,61 @@
+package prog
+
+import (
+	"multiflip/internal/ir"
+)
+
+// Histo workload dimensions: a 2-D histogram of histoW x histoH bins over
+// histoInputN input samples, saturating each 8-bit bin at 255.
+const (
+	histoW      = 12
+	histoH      = 8
+	histoBins   = histoW * histoH
+	histoInputN = 1024
+)
+
+// histoInput returns the deterministic sample values. The distribution is
+// deliberately skewed so several bins exceed 255 and exercise saturation,
+// as Parboil's input does.
+func histoInput() []uint32 {
+	r := inputRand("histo")
+	vals := make([]uint32, histoInputN)
+	for i := range vals {
+		if r.Intn(100) < 35 {
+			// Hot value: enough hits to overflow an 8-bit bin, exercising
+			// the saturating clamp.
+			vals[i] = 700
+		} else {
+			vals[i] = uint32(r.Intn(4096))
+		}
+	}
+	return vals
+}
+
+// buildHisto constructs the saturating 2-D histogram kernel: each sample
+// value maps to a (row, column) bin; bins increment and clamp at 255. The
+// program emits the full histogram.
+func buildHisto() (*ir.Program, error) {
+	input := histoInput()
+	mb := ir.NewModule("histo")
+	gIn := mb.GlobalU32s(input)
+	gHist := mb.GlobalZero(histoBins) // byte bins
+
+	f := mb.Func("main", 0)
+	f.For(ir.C(0), ir.C(histoInputN), func(i ir.Reg) {
+		v := f.Load32(f.Idx(ir.C(gIn), i, 4), 0)
+		// 2-D bin coordinates, then flattened index.
+		row := f.Urem(f.Udiv(v, ir.C(histoW)), ir.C(histoH))
+		col := f.Urem(v, ir.C(histoW))
+		bin := f.Add(f.Mul(row, ir.C(histoW)), col)
+		addr := f.Idx(ir.C(gHist), bin, 1)
+		cur := f.Load8(addr, 0)
+		// Saturating increment.
+		inc := f.Add(cur, ir.C(1))
+		f.Store8(addr, f.Select(f.Ult(cur, ir.C(255)), inc, ir.C(255)), 0)
+	})
+	f.For(ir.C(0), ir.C(histoBins), func(i ir.Reg) {
+		f.Out8(f.Load8(f.Idx(ir.C(gHist), i, 1), 0))
+	})
+	f.RetVoid()
+	return mb.Build()
+}

@@ -1,0 +1,152 @@
+// Package prog implements the paper's 15-program workload suite (Table II)
+// in the multiflip IR: 11 MiBench programs (automotive, telecomm, network,
+// security, office) and 4 Parboil programs (base, cpu).
+//
+// Each program is hand-written against the ir builder DSL and verified,
+// in tests, against a native-Go reference implementation executing the
+// same algorithm on the same deterministic input (CRC32 against
+// hash/crc32, sha against crypto/sha1, qsort against sort, and so on).
+// Inputs are synthetic but deterministic, sized so that a fault-free run
+// executes on the order of 10^4 dynamic instructions — small enough that a
+// 10,000-experiment campaign is laptop-feasible, large enough to keep each
+// program's characteristic mix of address and data computation.
+package prog
+
+import (
+	"fmt"
+
+	"multiflip/internal/ir"
+	"multiflip/internal/xrand"
+)
+
+// Suite names.
+const (
+	SuiteMiBench = "MiBench"
+	SuiteParboil = "Parboil"
+)
+
+// Benchmark describes one workload.
+type Benchmark struct {
+	// Name matches the paper's Table II program name.
+	Name string
+	// Suite is MiBench or Parboil.
+	Suite string
+	// Package is the suite sub-package (automotive, telecomm, ...).
+	Package string
+	// Desc is the one-line description from Table II.
+	Desc string
+	// Build constructs the program with its input baked into the global
+	// segment. Building is deterministic.
+	Build func() (*ir.Program, error)
+}
+
+// All returns the 15 benchmarks in the paper's Table II order.
+func All() []Benchmark {
+	return []Benchmark{
+		{
+			Name: "basicmath", Suite: SuiteMiBench, Package: "automotive",
+			Desc:  "Cubic equation roots, integer square roots and angle conversions over constant sets.",
+			Build: buildBasicmath,
+		},
+		{
+			Name: "qsort", Suite: SuiteMiBench, Package: "automotive",
+			Desc:  "Quick Sort of a word list.",
+			Build: buildQsort,
+		},
+		{
+			Name: "susan_corners", Suite: SuiteMiBench, Package: "automotive",
+			Desc:  "Finds corners of a black & white image of a rectangle.",
+			Build: buildSusanCorners,
+		},
+		{
+			Name: "susan_edges", Suite: SuiteMiBench, Package: "automotive",
+			Desc:  "Finds edges of a black & white image of a rectangle.",
+			Build: buildSusanEdges,
+		},
+		{
+			Name: "susan_smoothing", Suite: SuiteMiBench, Package: "automotive",
+			Desc:  "Smooths a black & white image of a rectangle.",
+			Build: buildSusanSmoothing,
+		},
+		{
+			Name: "FFT", Suite: SuiteMiBench, Package: "telecomm",
+			Desc:  "Fast Fourier Transform on an array of data.",
+			Build: buildFFT,
+		},
+		{
+			Name: "IFFT", Suite: SuiteMiBench, Package: "telecomm",
+			Desc:  "Inverse FFT on a spectrum array.",
+			Build: buildIFFT,
+		},
+		{
+			Name: "CRC32", Suite: SuiteMiBench, Package: "telecomm",
+			Desc:  "32-bit Cyclic Redundancy Check over a data buffer.",
+			Build: buildCRC32,
+		},
+		{
+			Name: "dijkstra", Suite: SuiteMiBench, Package: "network",
+			Desc:  "Shortest paths between node pairs of an adjacency-matrix graph.",
+			Build: buildDijkstra,
+		},
+		{
+			Name: "sha", Suite: SuiteMiBench, Package: "security",
+			Desc:  "SHA-1, generating a 160-bit digest of a message buffer.",
+			Build: buildSHA,
+		},
+		{
+			Name: "stringsearch", Suite: SuiteMiBench, Package: "office",
+			Desc:  "Case-insensitive word search in phrases.",
+			Build: buildStringsearch,
+		},
+		{
+			Name: "bfs", Suite: SuiteParboil, Package: "base",
+			Desc:  "Breadth-first shortest-path costs from a single node of an irregular graph.",
+			Build: buildBFS,
+		},
+		{
+			Name: "histo", Suite: SuiteParboil, Package: "base",
+			Desc:  "2-D saturating histogram with a maximum bin count of 255.",
+			Build: buildHisto,
+		},
+		{
+			Name: "sad", Suite: SuiteParboil, Package: "cpu",
+			Desc:  "Sum of absolute differences over macroblocks of an image pair.",
+			Build: buildSAD,
+		},
+		{
+			Name: "spmv", Suite: SuiteParboil, Package: "cpu",
+			Desc:  "Product of a sparse matrix with a dense vector.",
+			Build: buildSPMV,
+		},
+	}
+}
+
+// ByName returns the benchmark with the given Table II name.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("prog: unknown benchmark %q", name)
+}
+
+// Names returns all benchmark names in Table II order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, b := range all {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// inputRand returns the deterministic input-generation stream for a
+// program. Inputs never change across builds.
+func inputRand(program string) *xrand.Rand {
+	seed := uint64(0x5eed_1234_abcd_0000)
+	for _, c := range []byte(program) {
+		seed = seed*131 + uint64(c)
+	}
+	return xrand.New(seed)
+}

@@ -1,0 +1,487 @@
+package prog
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"multiflip/internal/vm"
+)
+
+// golden builds the named benchmark and returns its fault-free output.
+func golden(t *testing.T, name string) *vm.Result {
+	t.Helper()
+	b, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	res, err := vm.Profile(p)
+	if err != nil {
+		t.Fatalf("profile %s: %v", name, err)
+	}
+	return res
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("registry has %d benchmarks, want 15", len(all))
+	}
+	wantNames := []string{
+		"basicmath", "qsort", "susan_corners", "susan_edges",
+		"susan_smoothing", "FFT", "IFFT", "CRC32", "dijkstra", "sha",
+		"stringsearch", "bfs", "histo", "sad", "spmv",
+	}
+	for i, w := range wantNames {
+		if all[i].Name != w {
+			t.Errorf("benchmark %d = %s, want %s (Table II order)", i, all[i].Name, w)
+		}
+	}
+	mi, pb := 0, 0
+	for _, b := range all {
+		switch b.Suite {
+		case SuiteMiBench:
+			mi++
+		case SuiteParboil:
+			pb++
+		default:
+			t.Errorf("%s: unknown suite %q", b.Name, b.Suite)
+		}
+		if b.Desc == "" || b.Package == "" {
+			t.Errorf("%s: missing metadata", b.Name)
+		}
+	}
+	if mi != 11 || pb != 4 {
+		t.Errorf("suite split = %d MiBench / %d Parboil, want 11/4", mi, pb)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+func TestAllBenchmarksBuildAndProfile(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			p, err := b.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			res, err := vm.Profile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Output) == 0 {
+				t.Error("no output produced")
+			}
+			if res.Dyn < 1000 {
+				t.Errorf("only %d dynamic instructions; workload too small", res.Dyn)
+			}
+			if res.Dyn > 2_000_000 {
+				t.Errorf("%d dynamic instructions; workload too large for campaigns", res.Dyn)
+			}
+			// Table II property: the inject-on-read candidate space is
+			// larger than inject-on-write (stores/branches read but never
+			// write).
+			if res.ReadSlots <= res.Writes {
+				t.Errorf("read candidates (%d) not greater than write candidates (%d)",
+					res.ReadSlots, res.Writes)
+			}
+		})
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	for _, b := range All() {
+		p1, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p1.Globals, p2.Globals) {
+			t.Errorf("%s: global image differs between builds", b.Name)
+		}
+		if p1.StaticInstrs() != p2.StaticInstrs() {
+			t.Errorf("%s: static code differs between builds", b.Name)
+		}
+	}
+}
+
+func TestCRC32MatchesStdlib(t *testing.T) {
+	res := golden(t, "CRC32")
+	want := crc32.ChecksumIEEE(crcInput())
+	if len(res.Output) != 4 {
+		t.Fatalf("output length %d, want 4", len(res.Output))
+	}
+	got := binary.LittleEndian.Uint32(res.Output)
+	if got != want {
+		t.Fatalf("CRC32 = %#x, want %#x", got, want)
+	}
+}
+
+func TestQsortMatchesSort(t *testing.T) {
+	res := golden(t, "qsort")
+	in := qsortInput()
+	vals := make([]int32, len(in))
+	for i, v := range in {
+		vals[i] = int32(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	var want outputBuf
+	for _, v := range vals {
+		want.i32(v)
+	}
+	if !bytes.Equal(res.Output, want.bytes) {
+		t.Fatal("qsort output does not match sorted reference")
+	}
+}
+
+func TestDijkstraMatchesReference(t *testing.T) {
+	res := golden(t, "dijkstra")
+	adj := dijkstraGraph()
+	var want outputBuf
+	for _, pq := range dijkstraQueries() {
+		want.u32(refDijkstra(adj, pq[0], pq[1]))
+	}
+	if !bytes.Equal(res.Output, want.bytes) {
+		t.Fatalf("dijkstra output mismatch:\n got %x\nwant %x", res.Output, want.bytes)
+	}
+}
+
+// refDijkstra mirrors the IR implementation's O(N^2) scan.
+func refDijkstra(adj []uint32, src, dst int) uint32 {
+	const inf = dijkstraInf
+	dist := make([]uint32, dijkstraN)
+	visited := make([]bool, dijkstraN)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	for round := 0; round < dijkstraN; round++ {
+		best := uint32(inf + 1)
+		bestIdx := -1
+		for i := 0; i < dijkstraN; i++ {
+			if !visited[i] && dist[i] < best {
+				best = dist[i]
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			continue
+		}
+		visited[bestIdx] = true
+		du := dist[bestIdx]
+		for j := 0; j < dijkstraN; j++ {
+			w := adj[bestIdx*dijkstraN+j]
+			if w < inf && du+w < dist[j] {
+				dist[j] = du + w
+			}
+		}
+	}
+	return dist[dst]
+}
+
+func TestSHAMatchesCryptoSHA1(t *testing.T) {
+	res := golden(t, "sha")
+	sum := sha1.Sum(shaInput())
+	// The program emits h0..h4 as little-endian words; the digest is those
+	// words big-endian.
+	if len(res.Output) != 20 {
+		t.Fatalf("output length %d, want 20", len(res.Output))
+	}
+	for w := 0; w < 5; w++ {
+		got := binary.LittleEndian.Uint32(res.Output[4*w:])
+		want := binary.BigEndian.Uint32(sum[4*w:])
+		if got != want {
+			t.Fatalf("digest word %d = %#x, want %#x", w, got, want)
+		}
+	}
+}
+
+func TestStringsearchMatchesNaive(t *testing.T) {
+	res := golden(t, "stringsearch")
+	phrases, words := stringsearchCases()
+	var want outputBuf
+	foundAny, missedAny := false, false
+	for i := range phrases {
+		idx := strings.Index(strings.ToLower(phrases[i]), strings.ToLower(words[i]))
+		want.i32(int32(idx))
+		if idx >= 0 {
+			foundAny = true
+		} else {
+			missedAny = true
+		}
+	}
+	if !foundAny || !missedAny {
+		t.Fatal("test input does not exercise both hit and miss paths")
+	}
+	if !bytes.Equal(res.Output, want.bytes) {
+		t.Fatalf("stringsearch output mismatch:\n got %x\nwant %x", res.Output, want.bytes)
+	}
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	res := golden(t, "bfs")
+	rowPtr, colIdx := bfsGraph()
+	dist := make([]int32, bfsNodes)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+	queue := []uint32{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for e := rowPtr[u]; e < rowPtr[u+1]; e++ {
+			v := colIdx[e]
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	var want outputBuf
+	reached := 0
+	for _, d := range dist {
+		want.i32(d)
+		if d >= 0 {
+			reached++
+		}
+	}
+	if reached < bfsNodes/2 {
+		t.Fatalf("graph too disconnected: %d reached", reached)
+	}
+	if !bytes.Equal(res.Output, want.bytes) {
+		t.Fatal("bfs output mismatch")
+	}
+}
+
+func TestHistoMatchesReference(t *testing.T) {
+	res := golden(t, "histo")
+	hist := make([]uint8, histoBins)
+	for _, v := range histoInput() {
+		row := (v / histoW) % histoH
+		col := v % histoW
+		bin := row*histoW + col
+		if hist[bin] < 255 {
+			hist[bin]++
+		}
+	}
+	saturated := false
+	for _, h := range hist {
+		if h == 255 {
+			saturated = true
+		}
+	}
+	if !saturated {
+		t.Fatal("input does not exercise bin saturation")
+	}
+	if !bytes.Equal(res.Output, hist) {
+		t.Fatalf("histo output mismatch:\n got %x\nwant %x", res.Output, hist)
+	}
+}
+
+func TestSADMatchesReference(t *testing.T) {
+	res := golden(t, "sad")
+	cur, ref := sadFrames()
+	var want outputBuf
+	nb := sadDim / sadBlk
+	for by := 0; by < nb; by++ {
+		for bx := 0; bx < nb; bx++ {
+			baseY, baseX := by*sadBlk, bx*sadBlk
+			best := int32(0x7FFFFFFF)
+			bestMV := int32(0)
+			for dy := -sadRange; dy <= sadRange; dy++ {
+				for dx := -sadRange; dx <= sadRange; dx++ {
+					oy, ox := baseY+dy, baseX+dx
+					if oy < 0 || oy > sadDim-sadBlk || ox < 0 || ox > sadDim-sadBlk {
+						continue
+					}
+					var sum int32
+					for py := 0; py < sadBlk; py++ {
+						for px := 0; px < sadBlk; px++ {
+							a := int32(cur[(baseY+py)*sadDim+baseX+px])
+							b := int32(ref[(oy+py)*sadDim+ox+px])
+							d := a - b
+							if d < 0 {
+								d = -d
+							}
+							sum += d
+						}
+					}
+					if sum < best {
+						best = sum
+						bestMV = int32((dy+sadRange)*(2*sadRange+1) + dx + sadRange)
+					}
+				}
+			}
+			want.i32(best)
+			want.i32(bestMV)
+		}
+	}
+	if !bytes.Equal(res.Output, want.bytes) {
+		t.Fatal("sad output mismatch")
+	}
+}
+
+func TestSPMVMatchesReference(t *testing.T) {
+	res := golden(t, "spmv")
+	rowPtr, colIdx, vals, x := spmvMatrix()
+	mul := func(in []float64) []float64 {
+		out := make([]float64, spmvN)
+		for row := 0; row < spmvN; row++ {
+			acc := 0.0
+			for e := rowPtr[row]; e < rowPtr[row+1]; e++ {
+				m := vals[e] * in[colIdx[e]]
+				acc = acc + m
+			}
+			out[row] = acc
+		}
+		return out
+	}
+	z := mul(mul(x))
+	var want outputBuf
+	for _, v := range z {
+		want.f64(v)
+	}
+	if !bytes.Equal(res.Output, want.bytes) {
+		t.Fatal("spmv output mismatch (bit-exact float comparison)")
+	}
+}
+
+func TestFFTMatchesReference(t *testing.T) {
+	res := golden(t, "FFT")
+	re, im := refFFT(fftSignal())
+	var want outputBuf
+	for i := 0; i < fftN; i++ {
+		want.f64(re[i])
+		want.f64(im[i])
+	}
+	if !bytes.Equal(res.Output, want.bytes) {
+		t.Fatal("FFT output mismatch (bit-exact float comparison)")
+	}
+}
+
+func TestFFTRoundTripsViaDFT(t *testing.T) {
+	// Independent check that refFFT is a correct Fourier transform (so the
+	// FFT workload is not just self-consistent): compare against a naive
+	// DFT within floating-point tolerance.
+	sig := fftSignal()
+	re, im := refFFT(sig)
+	for k := 0; k < fftN; k++ {
+		var wr, wi float64
+		for n := 0; n < fftN; n++ {
+			ang := -2 * math.Pi * float64(k) * float64(n) / fftN
+			wr += sig[n] * math.Cos(ang)
+			wi += sig[n] * math.Sin(ang)
+		}
+		if diff := wr - re[k]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("bin %d real: fft=%v dft=%v", k, re[k], wr)
+		}
+		if diff := wi - im[k]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("bin %d imag: fft=%v dft=%v", k, im[k], wi)
+		}
+	}
+}
+
+func TestIFFTMatchesReference(t *testing.T) {
+	res := golden(t, "IFFT")
+	re, im := refFFT(fftSignal())
+	outRe, outIm := refIFFT(re, im)
+	var want outputBuf
+	for i := 0; i < fftN; i++ {
+		want.f64(outRe[i])
+		want.f64(outIm[i])
+	}
+	if !bytes.Equal(res.Output, want.bytes) {
+		t.Fatal("IFFT output mismatch (bit-exact float comparison)")
+	}
+}
+
+func TestIFFTRecoversSignal(t *testing.T) {
+	re, im := refFFT(fftSignal())
+	outRe, _ := refIFFT(re, im)
+	sig := fftSignal()
+	for i := range sig {
+		diff := outRe[i] - sig[i]
+		if diff > 1e-10 || diff < -1e-10 {
+			t.Fatalf("sample %d: ifft(fft(x)) = %v, x = %v", i, outRe[i], sig[i])
+		}
+	}
+}
+
+func TestBasicmathMatchesReference(t *testing.T) {
+	res := golden(t, "basicmath")
+	want := refBasicmathOutput()
+	if !bytes.Equal(res.Output, want) {
+		t.Fatal("basicmath output mismatch (bit-exact float comparison)")
+	}
+}
+
+func TestUsqrtProperty(t *testing.T) {
+	for _, v := range []uint32{0, 1, 2, 3, 4, 15, 16, 17, 1 << 20, 1<<30 - 1} {
+		r := refUsqrt(v)
+		if uint64(r)*uint64(r) > uint64(v) || uint64(r+1)*uint64(r+1) <= uint64(v) {
+			t.Errorf("usqrt(%d) = %d", v, r)
+		}
+	}
+}
+
+func TestSusanCornersMatchesReference(t *testing.T) {
+	res := golden(t, "susan_corners")
+	if !bytes.Equal(res.Output, refSusanResponse(susanCornerG)) {
+		t.Fatal("susan_corners output mismatch")
+	}
+}
+
+func TestSusanEdgesMatchesReference(t *testing.T) {
+	res := golden(t, "susan_edges")
+	if !bytes.Equal(res.Output, refSusanResponse(susanEdgeG)) {
+		t.Fatal("susan_edges output mismatch")
+	}
+}
+
+func TestSusanResponsesNonTrivial(t *testing.T) {
+	// The rectangle's edges/corners must produce nonzero responses while
+	// flat regions produce zero, or the workload is degenerate.
+	for _, g := range []uint32{susanCornerG, susanEdgeG} {
+		out := refSusanResponse(g)
+		zero, nonzero := 0, 0
+		for i := 0; i < len(out); i += 4 {
+			if binary.LittleEndian.Uint32(out[i:]) == 0 {
+				zero++
+			} else {
+				nonzero++
+			}
+		}
+		if zero == 0 || nonzero == 0 {
+			t.Fatalf("g=%d: degenerate response map (%d zero, %d nonzero)", g, zero, nonzero)
+		}
+	}
+}
+
+func TestSusanSmoothingMatchesReference(t *testing.T) {
+	res := golden(t, "susan_smoothing")
+	if !bytes.Equal(res.Output, refSusanSmoothing()) {
+		t.Fatal("susan_smoothing output mismatch")
+	}
+}

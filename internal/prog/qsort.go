@@ -1,0 +1,59 @@
+package prog
+
+import (
+	"multiflip/internal/ir"
+)
+
+// qsortN is the number of 32-bit words sorted by the qsort workload.
+const qsortN = 150
+
+// qsortInput returns the deterministic unsorted word list.
+func qsortInput() []uint32 {
+	r := inputRand("qsort")
+	vals := make([]uint32, qsortN)
+	for i := range vals {
+		vals[i] = uint32(r.Uint64()) // full signed range
+	}
+	return vals
+}
+
+// buildQsort constructs a recursive Lomuto-partition quicksort over a
+// global word array, emitting the sorted array. Comparisons are signed,
+// like the MiBench program's integer comparator.
+func buildQsort() (*ir.Program, error) {
+	input := qsortInput()
+	mb := ir.NewModule("qsort")
+	gArr := mb.GlobalU32s(input)
+
+	main := mb.Func("main", 0)
+	main.CallVoid("quicksort", ir.C(gArr), ir.C(0), ir.C(qsortN-1))
+	main.For(ir.C(0), ir.C(qsortN), func(i ir.Reg) {
+		main.Out32(main.Load32(main.Idx(ir.C(gArr), i, 4), 0))
+	})
+	main.RetVoid()
+
+	qs := mb.Func("quicksort", 3) // arr, lo, hi (signed i32 bounds)
+	arr, lo, hi := qs.Arg(0), qs.Arg(1), qs.Arg(2)
+	qs.If(qs.Sge(lo, hi), func() { qs.RetVoid() })
+	// Lomuto partition with arr[hi] as pivot.
+	pivot := qs.Load32(qs.Idx(arr, hi, 4), 0)
+	i := qs.Let(qs.Sub(lo, ir.C(1)))
+	qs.For(lo, hi, func(j ir.Reg) {
+		vj := qs.Load32(qs.Idx(arr, j, 4), 0)
+		qs.If(qs.Sle(vj, pivot), func() {
+			qs.Mov(i, qs.Add(i, ir.C(1)))
+			vi := qs.Load32(qs.Idx(arr, i, 4), 0)
+			qs.Store32(qs.Idx(arr, i, 4), vj, 0)
+			qs.Store32(qs.Idx(arr, j, 4), vi, 0)
+		})
+	})
+	p := qs.Add(i, ir.C(1))
+	vp := qs.Load32(qs.Idx(arr, p, 4), 0)
+	vh := qs.Load32(qs.Idx(arr, hi, 4), 0)
+	qs.Store32(qs.Idx(arr, p, 4), vh, 0)
+	qs.Store32(qs.Idx(arr, hi, 4), vp, 0)
+	qs.CallVoid("quicksort", arr, lo, qs.Sub(p, ir.C(1)))
+	qs.CallVoid("quicksort", arr, qs.Add(p, ir.C(1)), hi)
+	qs.RetVoid()
+	return mb.Build()
+}

@@ -1,0 +1,33 @@
+package prog
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// outputBuf accumulates expected program output for the host-side
+// reference implementations, using the same little-endian encoding as the
+// VM's Out instruction.
+type outputBuf struct {
+	bytes []byte
+}
+
+func (o *outputBuf) u8(v uint8) {
+	o.bytes = append(o.bytes, v)
+}
+
+func (o *outputBuf) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	o.bytes = append(o.bytes, b[:]...)
+}
+
+func (o *outputBuf) i32(v int32) { o.u32(uint32(v)) }
+
+func (o *outputBuf) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	o.bytes = append(o.bytes, b[:]...)
+}
+
+func (o *outputBuf) f64(v float64) { o.u64(math.Float64bits(v)) }

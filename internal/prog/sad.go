@@ -1,0 +1,100 @@
+package prog
+
+import (
+	"multiflip/internal/ir"
+)
+
+// SAD workload dimensions: sum-of-absolute-differences block matching of
+// sadDim x sadDim frames with sadBlk x sadBlk macroblocks and a search
+// range of ±sadRange pixels.
+const (
+	sadDim   = 16
+	sadBlk   = 4
+	sadRange = 1
+)
+
+// sadFrames returns the deterministic current and reference frames. The
+// reference frame is the current frame shifted with noise, so block
+// matching has real structure.
+func sadFrames() (cur, ref []byte) {
+	r := inputRand("sad")
+	cur = make([]byte, sadDim*sadDim)
+	for i := range cur {
+		cur[i] = byte(r.Intn(256))
+	}
+	ref = make([]byte, sadDim*sadDim)
+	for y := 0; y < sadDim; y++ {
+		for x := 0; x < sadDim; x++ {
+			sx, sy := x-1, y
+			if sx < 0 {
+				sx = 0
+			}
+			v := int(cur[sy*sadDim+sx]) + r.Intn(9) - 4
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			ref[y*sadDim+x] = byte(v)
+		}
+	}
+	return cur, ref
+}
+
+// buildSAD constructs the block-matching kernel: for every macroblock of
+// the current frame it scans the ±sadRange search window in the reference
+// frame, computes each candidate's sum of absolute differences, and emits
+// the best SAD and its encoded motion vector.
+func buildSAD() (*ir.Program, error) {
+	cur, ref := sadFrames()
+	mb := ir.NewModule("sad")
+	gCur := mb.GlobalBytes(cur)
+	gRef := mb.GlobalBytes(ref)
+
+	f := mb.Func("main", 0)
+	nb := sadDim / sadBlk
+	f.For(ir.C(0), ir.C(uint64(nb)), func(by ir.Reg) {
+		f.For(ir.C(0), ir.C(uint64(nb)), func(bx ir.Reg) {
+			baseY := f.Mul(by, ir.C(sadBlk))
+			baseX := f.Mul(bx, ir.C(sadBlk))
+			best := f.Let(ir.C(0x7FFFFFFF))
+			bestMV := f.Let(ir.C(0))
+			f.For(ir.CI(-sadRange), ir.C(sadRange+1), func(dy ir.Reg) {
+				f.For(ir.CI(-sadRange), ir.C(sadRange+1), func(dx ir.Reg) {
+					// Candidate block origin in the reference frame.
+					oy := f.Add(baseY, dy)
+					ox := f.Add(baseX, dx)
+					inY := f.And(f.Sge(oy, ir.C(0)), f.Sle(oy, ir.C(sadDim-sadBlk)))
+					inX := f.And(f.Sge(ox, ir.C(0)), f.Sle(ox, ir.C(sadDim-sadBlk)))
+					f.If(f.And(inY, inX), func() {
+						sum := f.Let(ir.C(0))
+						f.For(ir.C(0), ir.C(sadBlk), func(py ir.Reg) {
+							rowC := f.Mul(f.Add(baseY, py), ir.C(sadDim))
+							rowR := f.Mul(f.Add(oy, py), ir.C(sadDim))
+							f.For(ir.C(0), ir.C(sadBlk), func(px ir.Reg) {
+								a := f.Load8(f.Idx(ir.C(gCur), f.Add(rowC, f.Add(baseX, px)), 1), 0)
+								b := f.Load8(f.Idx(ir.C(gRef), f.Add(rowR, f.Add(ox, px)), 1), 0)
+								d := f.Sub(a, b)
+								abs := f.Select(f.Slt(d, ir.C(0)), f.Sub(ir.C(0), d), d)
+								f.Mov(sum, f.Add(sum, abs))
+							})
+						})
+						f.If(f.Slt(sum, best), func() {
+							f.Mov(best, sum)
+							// Encode motion vector as (dy+range)*W + (dx+range).
+							mv := f.Add(
+								f.Mul(f.Add(dy, ir.C(sadRange)), ir.C(2*sadRange+1)),
+								f.Add(dx, ir.C(sadRange)))
+							f.Mov(bestMV, mv)
+						})
+					})
+				})
+			})
+			f.Out32(best)
+			f.Out32(bestMV)
+		})
+	})
+	f.RetVoid()
+	return mb.Build()
+}

@@ -1,0 +1,132 @@
+package prog
+
+import (
+	"multiflip/internal/ir"
+)
+
+// shaMsgLen is the message length hashed by the sha workload.
+const shaMsgLen = 256
+
+// shaInput returns the deterministic message buffer (stands in for
+// MiBench's ASCII input file).
+func shaInput() []byte {
+	r := inputRand("sha")
+	msg := make([]byte, shaMsgLen)
+	for i := range msg {
+		msg[i] = byte(' ' + r.Intn(95)) // printable ASCII
+	}
+	return msg
+}
+
+// buildSHA constructs a complete SHA-1: message padding, big-endian block
+// decoding, the 80-word schedule and all 80 rounds per block, emitting the
+// five digest words.
+func buildSHA() (*ir.Program, error) {
+	msg := shaInput()
+	// Padded length: message + 0x80 + zeros + 8-byte big-endian bit length,
+	// rounded to a 64-byte multiple.
+	padded := ((shaMsgLen+8)/64 + 1) * 64
+	blocks := padded / 64
+
+	mb := ir.NewModule("sha")
+	gMsg := mb.GlobalBytes(msg)
+	gBuf := mb.GlobalZero(padded) // working buffer: message + padding
+	gW := mb.GlobalZero(80 * 4)   // round schedule
+
+	f := mb.Func("main", 0)
+
+	// --- padding (done by the program itself, as in MiBench) ---
+	f.For(ir.C(0), ir.C(shaMsgLen), func(i ir.Reg) {
+		f.Store8(f.Idx(ir.C(gBuf), i, 1), f.Load8(f.Idx(ir.C(gMsg), i, 1), 0), 0)
+	})
+	f.Store8(ir.C(gBuf+shaMsgLen), ir.C(0x80), 0)
+	// Bit length, big-endian, in the last 8 bytes.
+	bitLen := uint64(shaMsgLen) * 8
+	for i := 0; i < 8; i++ {
+		f.Store8(ir.C(gBuf+uint64(padded)-8+uint64(i)), ir.C((bitLen>>uint(56-8*i))&0xff), 0)
+	}
+
+	// --- digest state ---
+	h0 := f.Let(ir.C(0x67452301))
+	h1 := f.Let(ir.C(0xEFCDAB89))
+	h2 := f.Let(ir.C(0x98BADCFE))
+	h3 := f.Let(ir.C(0x10325476))
+	h4 := f.Let(ir.C(0xC3D2E1F0))
+
+	rotl := func(x ir.Src, n uint) ir.Reg {
+		return f.Or(f.Shl(x, ir.C(uint64(n))), f.Lshr(x, ir.C(uint64(32-n))))
+	}
+
+	f.For(ir.C(0), ir.C(uint64(blocks)), func(blk ir.Reg) {
+		base := f.Idx(ir.C(gBuf), blk, 64)
+		// Load 16 big-endian words.
+		f.For(ir.C(0), ir.C(16), func(i ir.Reg) {
+			p := f.Idx(base, i, 4)
+			b0 := f.Load8(p, 0)
+			b1 := f.Load8(p, 1)
+			b2 := f.Load8(p, 2)
+			b3 := f.Load8(p, 3)
+			w := f.Or(f.Or(f.Shl(b0, ir.C(24)), f.Shl(b1, ir.C(16))),
+				f.Or(f.Shl(b2, ir.C(8)), b3))
+			f.Store32(f.Idx(ir.C(gW), i, 4), w, 0)
+		})
+		// Extend to 80 words.
+		f.For(ir.C(16), ir.C(80), func(i ir.Reg) {
+			x := f.Xor(
+				f.Xor(
+					f.Load32(f.Idx(ir.C(gW), f.Sub(i, ir.C(3)), 4), 0),
+					f.Load32(f.Idx(ir.C(gW), f.Sub(i, ir.C(8)), 4), 0)),
+				f.Xor(
+					f.Load32(f.Idx(ir.C(gW), f.Sub(i, ir.C(14)), 4), 0),
+					f.Load32(f.Idx(ir.C(gW), f.Sub(i, ir.C(16)), 4), 0)))
+			f.Store32(f.Idx(ir.C(gW), i, 4), rotl(x, 1), 0)
+		})
+		// 80 rounds.
+		a := f.Let(h0)
+		b := f.Let(h1)
+		c := f.Let(h2)
+		d := f.Let(h3)
+		e := f.Let(h4)
+		f.For(ir.C(0), ir.C(80), func(i ir.Reg) {
+			// Round function and constant by quarter.
+			fv := f.Let(ir.C(0))
+			kv := f.Let(ir.C(0))
+			q := f.Sdiv(i, ir.C(20))
+			f.If(f.Eq(q, ir.C(0)), func() {
+				f.Mov(fv, f.Or(f.And(b, c), f.And(f.Xor(b, ir.C(0xFFFFFFFF)), d)))
+				f.Mov(kv, ir.C(0x5A827999))
+			})
+			f.If(f.Eq(q, ir.C(1)), func() {
+				f.Mov(fv, f.Xor(f.Xor(b, c), d))
+				f.Mov(kv, ir.C(0x6ED9EBA1))
+			})
+			f.If(f.Eq(q, ir.C(2)), func() {
+				f.Mov(fv, f.Or(f.Or(f.And(b, c), f.And(b, d)), f.And(c, d)))
+				f.Mov(kv, ir.C(0x8F1BBCDC))
+			})
+			f.If(f.Eq(q, ir.C(3)), func() {
+				f.Mov(fv, f.Xor(f.Xor(b, c), d))
+				f.Mov(kv, ir.C(0xCA62C1D6))
+			})
+			wi := f.Load32(f.Idx(ir.C(gW), i, 4), 0)
+			tmp := f.Add(f.Add(f.Add(rotl(a, 5), fv), f.Add(e, kv)), wi)
+			f.Mov(e, d)
+			f.Mov(d, c)
+			f.Mov(c, rotl(b, 30))
+			f.Mov(b, a)
+			f.Mov(a, tmp)
+		})
+		f.Mov(h0, f.Add(h0, a))
+		f.Mov(h1, f.Add(h1, b))
+		f.Mov(h2, f.Add(h2, c))
+		f.Mov(h3, f.Add(h3, d))
+		f.Mov(h4, f.Add(h4, e))
+	})
+	f.Out32(h0)
+	f.Out32(h1)
+	f.Out32(h2)
+	f.Out32(h3)
+	f.Out32(h4)
+	f.RetVoid()
+	return mb.Build()
+}

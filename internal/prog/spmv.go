@@ -1,0 +1,74 @@
+package prog
+
+import (
+	"multiflip/internal/ir"
+)
+
+// SpMV workload dimensions: a spmvN x spmvN sparse matrix in CSR format.
+const spmvN = 64
+
+// spmvMatrix returns the deterministic CSR matrix and dense input vector.
+func spmvMatrix() (rowPtr, colIdx []uint32, vals, x []float64) {
+	r := inputRand("spmv")
+	rowPtr = make([]uint32, spmvN+1)
+	for i := 0; i < spmvN; i++ {
+		deg := 3 + r.Intn(5)
+		cols := make(map[int]bool, deg)
+		for len(cols) < deg {
+			cols[r.Intn(spmvN)] = true
+		}
+		// Deterministic order: ascending columns.
+		for c := 0; c < spmvN; c++ {
+			if cols[c] {
+				colIdx = append(colIdx, uint32(c))
+				vals = append(vals, 0.25+r.Float64())
+			}
+		}
+		rowPtr[i+1] = uint32(len(colIdx))
+	}
+	x = make([]float64, spmvN)
+	for i := range x {
+		x[i] = -1 + 2*r.Float64()
+	}
+	return rowPtr, colIdx, vals, x
+}
+
+// buildSPMV constructs two chained sparse matrix-vector products
+// (y = A·x, z = A·y), emitting z. Chaining doubles the dynamic footprint
+// and propagates any corrupted element through a second pass, like the
+// iterative solvers Parboil's spmv feeds.
+func buildSPMV() (*ir.Program, error) {
+	rowPtr, colIdx, vals, x := spmvMatrix()
+	mb := ir.NewModule("spmv")
+	gRow := mb.GlobalU32s(rowPtr)
+	gCol := mb.GlobalU32s(colIdx)
+	gVal := mb.GlobalF64s(vals)
+	gX := mb.GlobalF64s(x)
+	gY := mb.GlobalZero(spmvN * 8)
+	gZ := mb.GlobalZero(spmvN * 8)
+
+	main := mb.Func("main", 0)
+	main.CallVoid("spmv", ir.C(gX), ir.C(gY))
+	main.CallVoid("spmv", ir.C(gY), ir.C(gZ))
+	main.For(ir.C(0), ir.C(spmvN), func(i ir.Reg) {
+		main.Out64(main.LoadF(main.Idx(ir.C(gZ), i, 8), 0))
+	})
+	main.RetVoid()
+
+	f := mb.Func("spmv", 2) // in, out: dense vectors
+	in, out := f.Arg(0), f.Arg(1)
+	f.For(ir.C(0), ir.C(spmvN), func(row ir.Reg) {
+		acc := f.Let(ir.CF(0))
+		start := f.Load32(f.Idx(ir.C(gRow), row, 4), 0)
+		end := f.Load32(f.Idx(ir.C(gRow), f.Add(row, ir.C(1)), 4), 0)
+		f.For(start, end, func(e ir.Reg) {
+			col := f.Load32(f.Idx(ir.C(gCol), e, 4), 0)
+			av := f.LoadF(f.Idx(ir.C(gVal), e, 8), 0)
+			xv := f.LoadF(f.Idx(in, col, 8), 0)
+			f.Mov(acc, f.Fadd(acc, f.Fmul(av, xv)))
+		})
+		f.StoreF(f.Idx(out, row, 8), acc, 0)
+	})
+	f.RetVoid()
+	return mb.Build()
+}

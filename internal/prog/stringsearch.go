@@ -1,0 +1,134 @@
+package prog
+
+import (
+	"multiflip/internal/ir"
+)
+
+// stringsearchCases returns deterministic (phrase, word) pairs. Words are
+// planted into about half the phrases so both hit and miss paths execute.
+func stringsearchCases() (phrases []string, words []string) {
+	r := inputRand("stringsearch")
+	const (
+		numCases  = 12
+		phraseLen = 80
+	)
+	letters := "abcdefghijklmnopqrstuvwxyz "
+	for c := 0; c < numCases; c++ {
+		wordLen := 4 + r.Intn(8)
+		word := make([]byte, wordLen)
+		for i := range word {
+			word[i] = letters[r.Intn(26)]
+		}
+		phrase := make([]byte, phraseLen)
+		for i := range phrase {
+			ch := letters[r.Intn(len(letters))]
+			if r.Intn(3) == 0 {
+				ch = ch &^ 0x20 // sprinkle upper case
+			}
+			phrase[i] = ch
+		}
+		if c%2 == 0 {
+			// Plant the word (case-mangled) at a known-ish position.
+			pos := r.Intn(phraseLen - wordLen)
+			for i, wc := range word {
+				if r.Intn(2) == 0 {
+					wc = wc &^ 0x20
+				}
+				phrase[pos+i] = wc
+			}
+		}
+		phrases = append(phrases, string(phrase))
+		words = append(words, string(word))
+	}
+	return phrases, words
+}
+
+// buildStringsearch constructs a case-insensitive Boyer-Moore-Horspool
+// search (as in MiBench's office/stringsearch): a lower-casing table and a
+// per-word skip table drive the scan; the program emits the match offset
+// of each word in its phrase, or -1.
+func buildStringsearch() (*ir.Program, error) {
+	phrases, words := stringsearchCases()
+	mb := ir.NewModule("stringsearch")
+
+	// Lower-case lookup table.
+	var lower [256]byte
+	for i := range lower {
+		c := byte(i)
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		lower[i] = c
+	}
+	gLower := mb.GlobalBytes(lower[:])
+	gSkip := mb.GlobalZero(256 * 4)
+
+	type caseRef struct {
+		phrase, word uint64
+		plen, wlen   int
+	}
+	var refs []caseRef
+	for i := range phrases {
+		refs = append(refs, caseRef{
+			phrase: mb.GlobalBytes([]byte(phrases[i])),
+			word:   mb.GlobalBytes([]byte(words[i])),
+			plen:   len(phrases[i]),
+			wlen:   len(words[i]),
+		})
+	}
+
+	main := mb.Func("main", 0)
+	for _, cr := range refs {
+		main.Out32(main.Call("search",
+			ir.C(cr.phrase), ir.C(uint64(cr.plen)),
+			ir.C(cr.word), ir.C(uint64(cr.wlen))))
+	}
+	main.RetVoid()
+
+	f := mb.Func("search", 4) // text, tlen, pat, plen -> first index or -1
+	text, tlen, pat, plen := f.Arg(0), f.Arg(1), f.Arg(2), f.Arg(3)
+	low := func(b ir.Src) ir.Reg {
+		return f.Load8(f.Idx(ir.C(gLower), b, 1), 0)
+	}
+	// Build the BMH skip table: default plen, then plen-1-i for pattern
+	// bytes (lower-cased).
+	f.For(ir.C(0), ir.C(256), func(i ir.Reg) {
+		f.Store32(f.Idx(ir.C(gSkip), i, 4), plen, 0)
+	})
+	last := f.Sub(plen, ir.C(1))
+	f.For(ir.C(0), last, func(i ir.Reg) {
+		pc := low(f.Load8(f.Idx(pat, i, 1), 0))
+		f.Store32(f.Idx(ir.C(gSkip), pc, 4), f.Sub(last, i), 0)
+	})
+	// Scan alignments left to right.
+	pos := f.Let(ir.C(0))
+	limit := f.Sub(tlen, plen)
+	result := f.Let(ir.CI(-1))
+	done := f.Let(ir.C(0))
+	f.While(func() ir.Src {
+		return f.And(f.Sle(pos, limit), f.Eq(done, ir.C(0)))
+	}, func() {
+		// Compare pattern right to left.
+		k := f.Let(last)
+		mismatch := f.Let(ir.C(0))
+		f.While(func() ir.Src {
+			return f.And(f.Sge(k, ir.C(0)), f.Eq(mismatch, ir.C(0)))
+		}, func() {
+			tc := low(f.Load8(f.Idx(text, f.Add(pos, k), 1), 0))
+			pc := low(f.Load8(f.Idx(pat, k, 1), 0))
+			f.IfElse(f.Eq(tc, pc),
+				func() { f.Mov(k, f.Sub(k, ir.C(1))) },
+				func() { f.Mov(mismatch, ir.C(1)) })
+		})
+		f.IfElse(f.Eq(mismatch, ir.C(0)), func() {
+			f.Mov(result, pos)
+			f.Mov(done, ir.C(1))
+		}, func() {
+			// Skip by the table entry of the alignment's last text byte.
+			tc := low(f.Load8(f.Idx(text, f.Add(pos, last), 1), 0))
+			f.Mov(pos, f.Add(pos, f.Load32(f.Idx(ir.C(gSkip), tc, 4), 0)))
+		})
+	})
+	f.Ret(result)
+	return mb.Build()
+}

@@ -1,0 +1,192 @@
+package prog
+
+import (
+	"math"
+
+	"multiflip/internal/ir"
+)
+
+// Susan workload dimensions: a susanDim x susanDim grayscale image scanned
+// with a 5x5 mask (border of 2 skipped), per MiBench's susan in its three
+// modes.
+const (
+	susanDim     = 16
+	susanBorder  = 2
+	susanBright  = 20       // brightness-similarity threshold t
+	susanMaxUSAN = 25 * 100 // mask area x full LUT weight
+	susanEdgeG   = susanMaxUSAN * 3 / 4
+	susanCornerG = susanMaxUSAN / 2
+)
+
+// susanImage returns the deterministic test image: a dark rectangle on a
+// light background with mild noise.
+func susanImage() []byte {
+	r := inputRand("susan")
+	img := make([]byte, susanDim*susanDim)
+	for y := 0; y < susanDim; y++ {
+		for x := 0; x < susanDim; x++ {
+			v := 200
+			if y >= 4 && y < 12 && x >= 4 && x < 12 {
+				v = 50
+			}
+			v += r.Intn(7) - 3
+			img[y*susanDim+x] = byte(v)
+		}
+	}
+	return img
+}
+
+// susanLUT returns the brightness-similarity lookup table indexed by
+// |difference| (0..255): w = round(100 * exp(-(d/t)^6)), as in susan's
+// setup_brightness_lut.
+func susanLUT() []byte {
+	lut := make([]byte, 256)
+	for d := range lut {
+		e := math.Pow(float64(d)/susanBright, 6)
+		lut[d] = byte(math.Round(100 * math.Exp(-e)))
+	}
+	return lut
+}
+
+// emitUSAN emits code computing the USAN value (sum of LUT-weighted
+// brightness similarities over the 5x5 mask) of pixel (cx, cy); result in
+// the returned register.
+func emitUSAN(f *ir.FuncBuilder, gImg, gLUT uint64, cx, cy ir.Reg) ir.Reg {
+	center := f.Load8(f.Idx(ir.C(gImg), f.Add(f.Mul(cy, ir.C(susanDim)), cx), 1), 0)
+	usan := f.Let(ir.C(0))
+	f.For(ir.CI(-susanBorder), ir.C(susanBorder+1), func(dy ir.Reg) {
+		row := f.Mul(f.Add(cy, dy), ir.C(susanDim))
+		f.For(ir.CI(-susanBorder), ir.C(susanBorder+1), func(dx ir.Reg) {
+			px := f.Load8(f.Idx(ir.C(gImg), f.Add(row, f.Add(cx, dx)), 1), 0)
+			d := f.Sub(px, center)
+			ad := f.Select(f.Slt(d, ir.C(0)), f.Sub(ir.C(0), d), d)
+			w := f.Load8(f.Idx(ir.C(gLUT), ad, 1), 0)
+			f.Mov(usan, f.Add(usan, w))
+		})
+	})
+	return usan
+}
+
+// buildSusanResponse builds a susan variant that emits, for every interior
+// pixel, the response g - USAN when USAN < g, else 0.
+func buildSusanResponse(name string, g uint64) (*ir.Program, error) {
+	mb := ir.NewModule(name)
+	gImg := mb.GlobalBytes(susanImage())
+	gLUT := mb.GlobalBytes(susanLUT())
+
+	f := mb.Func("main", 0)
+	f.For(ir.C(susanBorder), ir.C(susanDim-susanBorder), func(cy ir.Reg) {
+		f.For(ir.C(susanBorder), ir.C(susanDim-susanBorder), func(cx ir.Reg) {
+			usan := emitUSAN(f, gImg, gLUT, cx, cy)
+			resp := f.Select(f.Ult(usan, ir.C(g)), f.Sub(ir.C(g), usan), ir.C(0))
+			f.Out32(resp)
+		})
+	})
+	f.RetVoid()
+	return mb.Build()
+}
+
+// buildSusanCorners constructs the corner-response variant (geometric
+// threshold max/2).
+func buildSusanCorners() (*ir.Program, error) {
+	return buildSusanResponse("susan_corners", susanCornerG)
+}
+
+// buildSusanEdges constructs the edge-response variant (geometric
+// threshold 3*max/4).
+func buildSusanEdges() (*ir.Program, error) {
+	return buildSusanResponse("susan_edges", susanEdgeG)
+}
+
+// buildSusanSmoothing constructs the smoothing variant: every interior
+// pixel becomes the similarity-weighted mean of its 5x5 neighbourhood.
+func buildSusanSmoothing() (*ir.Program, error) {
+	mb := ir.NewModule("susan_smoothing")
+	gImg := mb.GlobalBytes(susanImage())
+	gLUT := mb.GlobalBytes(susanLUT())
+
+	f := mb.Func("main", 0)
+	f.For(ir.C(susanBorder), ir.C(susanDim-susanBorder), func(cy ir.Reg) {
+		f.For(ir.C(susanBorder), ir.C(susanDim-susanBorder), func(cx ir.Reg) {
+			center := f.Load8(f.Idx(ir.C(gImg), f.Add(f.Mul(cy, ir.C(susanDim)), cx), 1), 0)
+			total := f.Let(ir.C(0))
+			wsum := f.Let(ir.C(0))
+			f.For(ir.CI(-susanBorder), ir.C(susanBorder+1), func(dy ir.Reg) {
+				row := f.Mul(f.Add(cy, dy), ir.C(susanDim))
+				f.For(ir.CI(-susanBorder), ir.C(susanBorder+1), func(dx ir.Reg) {
+					px := f.Load8(f.Idx(ir.C(gImg), f.Add(row, f.Add(cx, dx)), 1), 0)
+					d := f.Sub(px, center)
+					ad := f.Select(f.Slt(d, ir.C(0)), f.Sub(ir.C(0), d), d)
+					w := f.Load8(f.Idx(ir.C(gLUT), ad, 1), 0)
+					f.Mov(total, f.Add(total, f.Mul(w, px)))
+					f.Mov(wsum, f.Add(wsum, w))
+				})
+			})
+			// wsum >= LUT[0] > 0 (the centre contributes full weight).
+			f.Out8(f.Udiv(total, wsum))
+		})
+	})
+	f.RetVoid()
+	return mb.Build()
+}
+
+// refSusanResponse computes the expected output of a response variant.
+func refSusanResponse(g uint32) []byte {
+	img := susanImage()
+	lut := susanLUT()
+	var out outputBuf
+	for cy := susanBorder; cy < susanDim-susanBorder; cy++ {
+		for cx := susanBorder; cx < susanDim-susanBorder; cx++ {
+			usan := refUSAN(img, lut, cx, cy)
+			if usan < g {
+				out.u32(g - usan)
+			} else {
+				out.u32(0)
+			}
+		}
+	}
+	return out.bytes
+}
+
+func refUSAN(img, lut []byte, cx, cy int) uint32 {
+	center := img[cy*susanDim+cx]
+	var usan uint32
+	for dy := -susanBorder; dy <= susanBorder; dy++ {
+		for dx := -susanBorder; dx <= susanBorder; dx++ {
+			px := img[(cy+dy)*susanDim+cx+dx]
+			d := int32(px) - int32(center)
+			if d < 0 {
+				d = -d
+			}
+			usan += uint32(lut[d])
+		}
+	}
+	return usan
+}
+
+// refSusanSmoothing computes the expected smoothing output.
+func refSusanSmoothing() []byte {
+	img := susanImage()
+	lut := susanLUT()
+	var out outputBuf
+	for cy := susanBorder; cy < susanDim-susanBorder; cy++ {
+		for cx := susanBorder; cx < susanDim-susanBorder; cx++ {
+			center := img[cy*susanDim+cx]
+			var total, wsum uint32
+			for dy := -susanBorder; dy <= susanBorder; dy++ {
+				for dx := -susanBorder; dx <= susanBorder; dx++ {
+					px := img[(cy+dy)*susanDim+cx+dx]
+					d := int32(px) - int32(center)
+					if d < 0 {
+						d = -d
+					}
+					w := uint32(lut[d])
+					total += w * uint32(px)
+					wsum += w
+				}
+			}
+			out.u8(uint8(total / wsum))
+		}
+	}
+	return out.bytes
+}

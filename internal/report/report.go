@@ -1,0 +1,128 @@
+// Package report renders the study's tables and figure-data series as
+// aligned ASCII tables and as CSV, so every table and figure of the paper
+// can be regenerated as text.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells with optional footnotes.
+type Table struct {
+	// Title names the table or figure it reproduces.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells; ragged rows are padded when rendering.
+	Rows [][]string
+	// Notes are rendered under the table, one bullet per entry.
+	Notes []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes an aligned, boxed ASCII rendering.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, width := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", width-len(cell)))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	total := 0
+	for _, width := range widths {
+		total += width + 2
+	}
+	if total > 2 {
+		total -= 2
+	}
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", min(total, 100))); err != nil {
+		return err
+	}
+	if len(t.Columns) > 0 {
+		if _, err := fmt.Fprintf(w, "%s\n%s\n", line(t.Columns), strings.Repeat("-", min(total, 100))); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "* %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the table as CSV (title and notes become # comments).
+func (t *Table) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if len(t.Columns) > 0 {
+		if err := cw.Write(t.Columns); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:   "Sample",
+		Columns: []string{"name", "value"},
+		Notes:   []string{"a note"},
+	}
+	t.AddRow("alpha", "1")
+	t.AddRow("beta-long", "22")
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	out := sample().String()
+	if !strings.Contains(out, "Sample") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(out, "\n")
+	var header, alpha string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "name") {
+			header = l
+		}
+		if strings.HasPrefix(l, "alpha") {
+			alpha = l
+		}
+	}
+	if header == "" || alpha == "" {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	// The value column must start at the same offset in every line.
+	if strings.Index(header, "value") != strings.Index(alpha, "1") {
+		t.Fatalf("columns not aligned:\n%s", out)
+	}
+	if !strings.Contains(out, "* a note") {
+		t.Fatal("missing note")
+	}
+}
+
+func TestRenderRaggedRows(t *testing.T) {
+	tb := &Table{Title: "R", Columns: []string{"a"}}
+	tb.AddRow("x", "extra", "cells")
+	out := tb.String()
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "cells") {
+		t.Fatalf("ragged cells dropped:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sample().CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"# Sample", "name,value", "alpha,1", "beta-long,22", "# a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVQuotesCommas(t *testing.T) {
+	tb := &Table{Columns: []string{"desc"}}
+	tb.AddRow("has, comma")
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"has, comma"`) {
+		t.Fatalf("comma not quoted: %s", b.String())
+	}
+}

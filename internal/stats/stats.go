@@ -1,0 +1,101 @@
+// Package stats provides the small statistical toolkit the study needs:
+// binomial proportions with 95% confidence intervals (the paper's error
+// bars) and histogram bucketing for the activated-error distribution.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// z95 is the standard-normal quantile for two-sided 95% confidence.
+const z95 = 1.959963984540054
+
+// Percent returns 100*count/n, or 0 for n == 0.
+func Percent(count, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return 100 * float64(count) / float64(n)
+}
+
+// NormalCI95 returns the half-width, in percentage points, of the 95%
+// confidence interval of a binomial proportion count/n under the normal
+// approximation — the error-bar convention of the paper.
+func NormalCI95(count, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(count) / float64(n)
+	return 100 * z95 * math.Sqrt(p*(1-p)/float64(n))
+}
+
+// WilsonCI95 returns the 95% Wilson score interval of a binomial
+// proportion, in percent. It behaves sensibly at the extremes (count = 0
+// or count = n), where the normal approximation collapses to zero width.
+func WilsonCI95(count, n int) (lo, hi float64) {
+	if n == 0 {
+		return 0, 0
+	}
+	p := float64(count) / float64(n)
+	nn := float64(n)
+	z2 := z95 * z95
+	den := 1 + z2/nn
+	center := (p + z2/(2*nn)) / den
+	half := z95 * math.Sqrt(p*(1-p)/nn+z2/(4*nn*nn)) / den
+	lo, hi = 100*(center-half), 100*(center+half)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 100 {
+		hi = 100
+	}
+	return lo, hi
+}
+
+// Bucket is a labelled integer range [Lo, Hi] (Hi < 0 means unbounded).
+type Bucket struct {
+	Label  string
+	Lo, Hi int
+}
+
+// Fig3Buckets returns the paper's activated-error buckets: 1-5, 6-10, >10.
+func Fig3Buckets() []Bucket {
+	return []Bucket{
+		{Label: "1-5", Lo: 1, Hi: 5},
+		{Label: "6-10", Lo: 6, Hi: 10},
+		{Label: ">10", Lo: 11, Hi: -1},
+	}
+}
+
+// BucketShares distributes a histogram (index = value, cell = count) over
+// buckets and returns each bucket's percentage share of the histogram
+// total. Values outside every bucket are ignored.
+func BucketShares(hist []int, buckets []Bucket) []float64 {
+	total := 0
+	sums := make([]int, len(buckets))
+	for v, c := range hist {
+		for bi, b := range buckets {
+			if v >= b.Lo && (b.Hi < 0 || v <= b.Hi) {
+				sums[bi] += c
+				total += c
+				break
+			}
+		}
+	}
+	shares := make([]float64, len(buckets))
+	if total == 0 {
+		return shares
+	}
+	for i, s := range sums {
+		shares[i] = 100 * float64(s) / float64(total)
+	}
+	return shares
+}
+
+// FormatPct renders a percentage with one decimal, e.g. "12.3".
+func FormatPct(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// FormatPctCI renders a percentage with its CI half-width, e.g.
+// "12.3±0.6".
+func FormatPctCI(v, ci float64) string { return fmt.Sprintf("%.1f±%.1f", v, ci) }

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercent(t *testing.T) {
+	tests := []struct {
+		count, n int
+		want     float64
+	}{
+		{0, 0, 0},
+		{0, 100, 0},
+		{50, 100, 50},
+		{100, 100, 100},
+		{1, 3, 100.0 / 3},
+	}
+	for _, tt := range tests {
+		if got := Percent(tt.count, tt.n); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percent(%d,%d) = %v, want %v", tt.count, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestNormalCI95KnownValue(t *testing.T) {
+	// p = 0.5, n = 10000: 1.96 * sqrt(0.25/10000) = 0.0098 -> 0.98 pp.
+	got := NormalCI95(5000, 10000)
+	if math.Abs(got-0.98) > 0.001 {
+		t.Fatalf("NormalCI95(5000,10000) = %v, want ~0.98", got)
+	}
+	if NormalCI95(0, 0) != 0 {
+		t.Fatal("CI of empty sample must be 0")
+	}
+}
+
+func TestNormalCI95ShrinksWithN(t *testing.T) {
+	if NormalCI95(50, 100) <= NormalCI95(500, 1000) {
+		t.Fatal("CI must shrink as n grows at fixed p")
+	}
+}
+
+func TestWilsonCI95Properties(t *testing.T) {
+	f := func(countRaw, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		count := int(countRaw) % (n + 1)
+		lo, hi := WilsonCI95(count, n)
+		p := Percent(count, n)
+		return lo >= 0 && hi <= 100 && lo <= p+1e-9 && hi >= p-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWilsonCI95Extremes(t *testing.T) {
+	lo, hi := WilsonCI95(0, 100)
+	if lo != 0 || hi <= 0 {
+		t.Fatalf("Wilson(0,100) = (%v,%v)", lo, hi)
+	}
+	lo, hi = WilsonCI95(100, 100)
+	if hi != 100 || lo >= 100 {
+		t.Fatalf("Wilson(100,100) = (%v,%v)", lo, hi)
+	}
+}
+
+func TestFig3Buckets(t *testing.T) {
+	bs := Fig3Buckets()
+	if len(bs) != 3 || bs[0].Label != "1-5" || bs[2].Hi != -1 {
+		t.Fatalf("Fig3Buckets = %+v", bs)
+	}
+}
+
+func TestBucketShares(t *testing.T) {
+	hist := make([]int, 32)
+	hist[1] = 50  // bucket 1-5
+	hist[5] = 10  // bucket 1-5
+	hist[7] = 20  // bucket 6-10
+	hist[15] = 20 // bucket >10
+	hist[0] = 99  // outside all buckets: ignored
+	shares := BucketShares(hist, Fig3Buckets())
+	want := []float64{60, 20, 20}
+	for i := range want {
+		if math.Abs(shares[i]-want[i]) > 1e-9 {
+			t.Fatalf("shares = %v, want %v", shares, want)
+		}
+	}
+}
+
+func TestBucketSharesEmpty(t *testing.T) {
+	shares := BucketShares(make([]int, 8), Fig3Buckets())
+	for _, s := range shares {
+		if s != 0 {
+			t.Fatal("empty histogram must give zero shares")
+		}
+	}
+}
+
+func TestBucketSharesSumTo100(t *testing.T) {
+	f := func(vals [16]uint8) bool {
+		hist := make([]int, 16)
+		total := 0
+		for i, v := range vals {
+			if i == 0 {
+				continue // index 0 is outside the buckets
+			}
+			hist[i] = int(v)
+			total += int(v)
+		}
+		shares := BucketShares(hist, Fig3Buckets())
+		sum := shares[0] + shares[1] + shares[2]
+		if total == 0 {
+			return sum == 0
+		}
+		return math.Abs(sum-100) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	if got := FormatPct(12.345); got != "12.3" {
+		t.Errorf("FormatPct = %q", got)
+	}
+	if got := FormatPctCI(12.345, 0.678); got != "12.3±0.7" {
+		t.Errorf("FormatPctCI = %q", got)
+	}
+}

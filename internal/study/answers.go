@@ -1,0 +1,208 @@
+package study
+
+import (
+	"fmt"
+	"math"
+
+	"multiflip/internal/core"
+	"multiflip/internal/report"
+	"multiflip/internal/stats"
+)
+
+// pessimismTolerance is the slack, in percentage points, within which the
+// paper treats two SDC percentages as "almost the same" (§IV-C2 uses one
+// percentage point).
+const pessimismTolerance = 1.0
+
+// Answers derives the paper's research-question answers (§III-F, §IV)
+// from the study data. trans may be nil, in which case RQ5 is omitted.
+func (s *Study) Answers(trans map[string]map[core.Technique]*TransitionResult) *report.Table {
+	t := &report.Table{
+		Title:   "Research-question answers (derived from this study's data)",
+		Columns: []string{"question", "technique", "answer"},
+	}
+	maxMBF := s.Opts.MaxMBFs[len(s.Opts.MaxMBFs)-1]
+	for _, tech := range core.Techniques() {
+		// RQ1: activated errors before crash at the largest max-MBF.
+		hist := make([]int, core.ActivatedCap+1)
+		for _, name := range s.Programs {
+			for _, r := range s.Data[name].Multi[tech] {
+				if r.Spec.Config.MaxMBF != maxMBF {
+					continue
+				}
+				for a, c := range r.CrashActivated {
+					hist[a] += c
+				}
+			}
+		}
+		under10, total := 0, 0
+		for a, c := range hist {
+			total += c
+			if a <= 10 {
+				under10 += c
+			}
+		}
+		t.AddRow("RQ1", tech.String(),
+			fmt.Sprintf("%s%% of crashed max-MBF=%d experiments activated at most 10 errors",
+				stats.FormatPct(stats.Percent(under10, total)), maxMBF))
+
+		// RQ2: is the single-bit model pessimistic? Noise-aware: the
+		// multi-bit peak must exceed the single-bit SDC% by more than the
+		// tolerance plus the combined 95% confidence half-widths before we
+		// call the single-bit model non-pessimistic.
+		pess, nonPess := 0, 0
+		worstGap, worstProg := 0.0, ""
+		for _, name := range s.Programs {
+			d := s.Data[name]
+			single := d.Single[tech]
+			best := bestMultiCampaign(d, tech)
+			if best == nil {
+				continue
+			}
+			gap := best.SDCPct() - single.SDCPct()
+			noise := combineCI(single.CI95(core.OutcomeSDC), best.CI95(core.OutcomeSDC))
+			if gap <= pessimismTolerance+noise {
+				pess++
+			} else {
+				nonPess++
+				if gap > worstGap {
+					worstGap, worstProg = gap, name
+				}
+			}
+		}
+		rq2 := fmt.Sprintf("single-bit pessimistic (within %.0f pp + CI noise) for %d/%d programs",
+			pessimismTolerance, pess, pess+nonPess)
+		if nonPess > 0 {
+			rq2 += fmt.Sprintf("; largest exceedance %.1f pp (%s)", worstGap, worstProg)
+		}
+		t.AddRow("RQ2", tech.String(), rq2)
+
+		// RQ3, per the paper's statistic: for how many (program, win-size)
+		// pairs does max-MBF <= 3 reach the pair's highest SDC%?
+		pairsOK, pairsTotal := 0, 0
+		for _, name := range s.Programs {
+			d := s.Data[name]
+			for _, w := range s.Opts.WinSizes {
+				if w.IsZero() {
+					continue
+				}
+				peak, peakCI, small, smallCI := pairPeaks(d, tech, w)
+				if peak < 0 {
+					continue
+				}
+				pairsTotal++
+				if small >= peak-pessimismTolerance-combineCI(peakCI, smallCI) {
+					pairsOK++
+				}
+			}
+		}
+		t.AddRow("RQ3", tech.String(),
+			fmt.Sprintf("max-MBF <= 3 reaches the highest SDC%% (within %.0f pp + CI noise) for %d/%d program/win-size pairs (%s%%)",
+				pessimismTolerance, pairsOK, pairsTotal,
+				stats.FormatPct(stats.Percent(pairsOK, pairsTotal))))
+
+		// RQ4: does win-size matter? Mean SDC% range across win-sizes at
+		// max-MBF = 2, plus where the best window lies.
+		meanRange, lowBest := winSizeEffect(s, tech)
+		t.AddRow("RQ4", tech.String(),
+			fmt.Sprintf("mean SDC%% spread across win-sizes (max-MBF=2): %.1f pp; best window <5 instr for %d/%d programs",
+				meanRange, lowBest, len(s.Programs)))
+
+		// RQ5: transition-based pruning.
+		if trans != nil {
+			var sumI, sumII, minPrune, maxPrune float64
+			minPrune = 101
+			for _, name := range s.Programs {
+				tr := trans[name][tech]
+				sumI += tr.TranI
+				sumII += tr.TranII
+				if tr.Prunable < minPrune {
+					minPrune = tr.Prunable
+				}
+				if tr.Prunable > maxPrune {
+					maxPrune = tr.Prunable
+				}
+			}
+			n := float64(len(s.Programs))
+			t.AddRow("RQ5", tech.String(),
+				fmt.Sprintf("mean Transition I %.1f%%, mean Transition II %.1f%%; %0.f-%0.f%% of single-bit locations prunable",
+					sumI/n, sumII/n, minPrune, maxPrune))
+		}
+	}
+	return t
+}
+
+// bestMultiCampaign returns the multi-register campaign with the highest
+// SDC percentage (the full result, so callers can read its CI).
+func bestMultiCampaign(d *ProgData, tech core.Technique) *core.CampaignResult {
+	var best *core.CampaignResult
+	for _, r := range d.Multi[tech] {
+		if r.Spec.Config.Win.IsZero() {
+			continue
+		}
+		if best == nil || r.SDCPct() > best.SDCPct() {
+			best = r
+		}
+	}
+	return best
+}
+
+// pairPeaks returns, for one (program, win-size) pair: the peak SDC% over
+// every max-MBF with its CI, and the peak SDC% restricted to max-MBF <= 3
+// with its CI. It returns peak = -1 when the pair has no campaigns.
+func pairPeaks(d *ProgData, tech core.Technique, w core.WinSize) (peak, peakCI, small, smallCI float64) {
+	peak, small = -1, -1
+	for _, r := range d.Multi[tech] {
+		cfg := r.Spec.Config
+		if cfg.Win != w {
+			continue
+		}
+		sdc := r.SDCPct()
+		if sdc > peak {
+			peak, peakCI = sdc, r.CI95(core.OutcomeSDC)
+		}
+		if cfg.MaxMBF <= 3 && sdc > small {
+			small, smallCI = sdc, r.CI95(core.OutcomeSDC)
+		}
+	}
+	return peak, peakCI, small, smallCI
+}
+
+// combineCI combines two independent 95% half-widths into the half-width
+// of their difference.
+func combineCI(a, b float64) float64 {
+	return math.Sqrt(a*a + b*b)
+}
+
+// winSizeEffect returns the mean SDC% range across win-sizes at
+// max-MBF = 2 and the number of programs whose best window is below 5
+// dynamic instructions.
+func winSizeEffect(s *Study, tech core.Technique) (meanRange float64, lowBest int) {
+	for _, name := range s.Programs {
+		d := s.Data[name]
+		lo, hi := 101.0, -1.0
+		for _, r := range d.Multi[tech] {
+			cfg := r.Spec.Config
+			if cfg.MaxMBF != 2 || cfg.Win.IsZero() {
+				continue
+			}
+			sdc := r.SDCPct()
+			if sdc < lo {
+				lo = sdc
+			}
+			if sdc > hi {
+				hi = sdc
+			}
+		}
+		if hi >= 0 {
+			meanRange += hi - lo
+		}
+		if best, err := s.BestConfig(name, tech); err == nil && !best.Config.Win.IsRandom() && best.Config.Win.Lo < 5 {
+			lowBest++
+		}
+	}
+	if len(s.Programs) > 0 {
+		meanRange /= float64(len(s.Programs))
+	}
+	return meanRange, lowBest
+}

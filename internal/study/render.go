@@ -1,0 +1,122 @@
+package study
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"multiflip/internal/core"
+	"multiflip/internal/report"
+)
+
+// Tables regenerates every table and figure of the paper from this study's
+// data, in presentation order. When withTransitions is set it also runs
+// the §IV-C3 transition campaigns and includes Table IV; otherwise Table
+// IV is skipped (it costs one extra pinned campaign per program and
+// technique).
+func (s *Study) Tables(withTransitions bool) ([]*report.Table, error) {
+	tables := []*report.Table{TableI(), s.TableII()}
+	for _, tech := range core.Techniques() {
+		tables = append(tables, s.Figure1(tech))
+	}
+	for _, tech := range core.Techniques() {
+		tables = append(tables, s.ExceptionBreakdown(tech))
+	}
+	for _, tech := range core.Techniques() {
+		tables = append(tables, s.CandidateComposition(tech))
+	}
+	for _, tech := range core.Techniques() {
+		tables = append(tables, s.Figure2(tech))
+	}
+	for _, tech := range core.Techniques() {
+		tables = append(tables, s.Figure3(tech))
+	}
+	tables = append(tables, s.Figure45(core.InjectOnRead), s.Figure45(core.InjectOnWrite))
+
+	t3, err := s.TableIII()
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, t3)
+
+	var trans map[string]map[core.Technique]*TransitionResult
+	if withTransitions {
+		trans, err = s.RunTransitions()
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, s.TableIV(trans))
+	}
+	return append(tables, s.PruningDividend(), s.Answers(trans)), nil
+}
+
+// RenderAll writes every table and figure to w.
+func (s *Study) RenderAll(w io.Writer, withTransitions bool) error {
+	header := fmt.Sprintf(
+		"multiflip study: %d programs x %d campaigns/program, n=%d experiments/campaign, seed=%d\n\n",
+		len(s.Programs), 2*(1+len(s.Opts.MaxMBFs)*len(s.Opts.WinSizes)), s.Opts.N, s.Opts.Seed)
+	if _, err := io.WriteString(w, header); err != nil {
+		return err
+	}
+	tables, err := s.Tables(withTransitions)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSVDir writes each table as an individual CSV file under dir,
+// named after a slug of its title.
+func (s *Study) WriteCSVDir(dir string, withTransitions bool) error {
+	tables, err := s.Tables(withTransitions)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range tables {
+		f, err := os.Create(filepath.Join(dir, slug(t.Title)+".csv"))
+		if err != nil {
+			return err
+		}
+		werr := t.CSV(f)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}
+
+// slug converts a table title into a safe file stem.
+func slug(title string) string {
+	if i := strings.IndexAny(title, ":("); i > 0 {
+		// Keep the figure/table designator plus any technique qualifier.
+		if j := strings.Index(title, ")"); j > i {
+			title = title[:j+1]
+		} else {
+			title = title[:i]
+		}
+	}
+	var b strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case b.Len() > 0 && !strings.HasSuffix(b.String(), "-"):
+			b.WriteByte('-')
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}

@@ -1,0 +1,43 @@
+package study_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSVDir(t *testing.T) {
+	s := tiny(t)
+	dir := t.TempDir()
+	if err := s.WriteCSVDir(dir, false); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 10 {
+		t.Fatalf("only %d CSV files written", len(entries))
+	}
+	var names []string
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".csv") {
+			t.Errorf("non-CSV file %s", e.Name())
+		}
+		names = append(names, e.Name())
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"table-i.csv", "figure-1", "figure-4", "table-iii"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing CSV %q in %v", want, names)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table-i.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "m1,2") {
+		t.Errorf("table-i.csv content wrong:\n%s", data)
+	}
+}

@@ -1,0 +1,194 @@
+// Package study orchestrates the paper's full experimental design: 182
+// fault-injection campaigns per benchmark program (§III-E) — one
+// single-bit campaign plus 90 (max-MBF, win-size) multi-bit clusters per
+// technique — and regenerates every table and figure of the evaluation
+// from the results.
+package study
+
+import (
+	"fmt"
+	"io"
+
+	"multiflip/internal/core"
+	"multiflip/internal/prog"
+	"multiflip/internal/xrand"
+)
+
+// Options configures a study run.
+type Options struct {
+	// N is the number of experiments per campaign. The paper uses 10,000;
+	// smaller values trade confidence-interval width for wall-clock time.
+	// Zero selects 500.
+	N int
+	// Seed drives all campaign sampling; a study is reproducible given
+	// (Seed, N, Programs, grid).
+	Seed uint64
+	// Programs selects benchmark names; empty selects all 15.
+	Programs []string
+	// MaxMBFs overrides Table I's max-MBF grid (empty = standard).
+	MaxMBFs []int
+	// WinSizes overrides Table I's win-size grid (empty = standard).
+	WinSizes []core.WinSize
+	// Workers bounds per-campaign parallelism (0 = GOMAXPROCS).
+	Workers int
+	// HangFactor scales the hang budget (0 = core.DefaultHangFactor).
+	HangFactor uint64
+	// Log, when non-nil, receives one progress line per campaign batch.
+	Log io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.N == 0 {
+		o.N = 500
+	}
+	if len(o.Programs) == 0 {
+		o.Programs = prog.Names()
+	}
+	if len(o.MaxMBFs) == 0 {
+		o.MaxMBFs = core.StandardMaxMBF()
+	}
+	if len(o.WinSizes) == 0 {
+		o.WinSizes = core.StandardWinSizes()
+	}
+	return o
+}
+
+// ProgData holds one program's campaigns.
+type ProgData struct {
+	// Target is the prepared workload.
+	Target *core.Target
+	// Single maps technique -> the single bit-flip campaign (recorded, so
+	// the transition study can pin its locations).
+	Single map[core.Technique]*core.CampaignResult
+	// Multi maps technique -> multi-bit campaigns in grid enumeration
+	// order (max-MBF major, win-size minor).
+	Multi map[core.Technique][]*core.CampaignResult
+}
+
+// MultiByConfig returns the campaign for a configuration, or nil.
+func (d *ProgData) MultiByConfig(tech core.Technique, cfg core.Config) *core.CampaignResult {
+	for _, r := range d.Multi[tech] {
+		if r.Spec.Config == cfg {
+			return r
+		}
+	}
+	return nil
+}
+
+// MultiWithWin returns the campaigns matching the predicate on win-size.
+func (d *ProgData) MultiWithWin(tech core.Technique, keep func(core.WinSize) bool) []*core.CampaignResult {
+	var out []*core.CampaignResult
+	for _, r := range d.Multi[tech] {
+		if keep(r.Spec.Config.Win) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Study is the complete result set.
+type Study struct {
+	// Opts echoes the (defaulted) options.
+	Opts Options
+	// Programs lists program names in Table II order.
+	Programs []string
+	// Data maps program name -> campaigns.
+	Data map[string]*ProgData
+}
+
+// Run executes the study: for every program and technique, the single
+// bit-flip campaign plus the (MaxMBFs x WinSizes) multi-bit grid.
+func Run(opts Options) (*Study, error) {
+	opts = opts.withDefaults()
+	s := &Study{
+		Opts:     opts,
+		Programs: opts.Programs,
+		Data:     make(map[string]*ProgData, len(opts.Programs)),
+	}
+	for _, name := range opts.Programs {
+		d, err := runProgram(opts, name)
+		if err != nil {
+			return nil, err
+		}
+		s.Data[name] = d
+	}
+	return s, nil
+}
+
+func runProgram(opts Options, name string) (*ProgData, error) {
+	b, err := prog.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("study: build %s: %w", name, err)
+	}
+	target, err := core.NewTarget(name, p)
+	if err != nil {
+		return nil, err
+	}
+	d := &ProgData{
+		Target: target,
+		Single: make(map[core.Technique]*core.CampaignResult, 2),
+		Multi:  make(map[core.Technique][]*core.CampaignResult, 2),
+	}
+	for _, tech := range core.Techniques() {
+		logf(opts.Log, "%s %s: single-bit + %d multi-bit campaigns (n=%d)",
+			name, tech, len(opts.MaxMBFs)*len(opts.WinSizes), opts.N)
+		single, err := core.RunCampaign(core.CampaignSpec{
+			Target:     target,
+			Technique:  tech,
+			Config:     core.SingleBit(),
+			N:          opts.N,
+			Seed:       campaignSeed(opts.Seed, name, tech, core.SingleBit()),
+			HangFactor: opts.HangFactor,
+			Workers:    opts.Workers,
+			Record:     true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.Single[tech] = single
+		for _, m := range opts.MaxMBFs {
+			for _, w := range opts.WinSizes {
+				cfg := core.Config{MaxMBF: m, Win: w}
+				res, err := core.RunCampaign(core.CampaignSpec{
+					Target:     target,
+					Technique:  tech,
+					Config:     cfg,
+					N:          opts.N,
+					Seed:       campaignSeed(opts.Seed, name, tech, cfg),
+					HangFactor: opts.HangFactor,
+					Workers:    opts.Workers,
+				})
+				if err != nil {
+					return nil, err
+				}
+				d.Multi[tech] = append(d.Multi[tech], res)
+			}
+		}
+	}
+	return d, nil
+}
+
+// campaignSeed derives a stable seed per (study seed, program, technique,
+// config).
+func campaignSeed(seed uint64, name string, tech core.Technique, cfg core.Config) uint64 {
+	h := seed ^ 0x243f6a8885a308d3
+	for _, c := range []byte(name) {
+		h = h*1099511628211 + uint64(c)
+	}
+	h ^= uint64(tech) << 56
+	h ^= uint64(cfg.MaxMBF) << 40
+	h ^= uint64(uint32(cfg.Win.Lo)) << 16
+	h ^= uint64(uint32(cfg.Win.Hi))
+	return xrand.SplitMix64(&h)
+}
+
+func logf(w io.Writer, format string, args ...any) {
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, format+"\n", args...)
+}

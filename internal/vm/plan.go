@@ -1,0 +1,166 @@
+package vm
+
+import (
+	"errors"
+
+	"multiflip/internal/ir"
+	"multiflip/internal/xrand"
+)
+
+// Plan describes the bit flips one experiment performs. It is mechanism
+// only; internal/core samples the fields from the campaign's fault model.
+//
+// The candidate space is defined by the technique:
+//
+//   - inject-on-read (OnWrite=false): every dynamic register-read operand
+//     slot, in execution order;
+//   - inject-on-write (OnWrite=true): every dynamic instruction that writes
+//     a destination register (calls count at their matching return, when
+//     the destination is actually written).
+//
+// The first flip lands on candidate index FirstCand. With SameReg (the
+// paper's win-size = 0), all MaxFlips flips are distinct bits of that one
+// register, clamped to its width. Otherwise follow-up flips land on the
+// first eligible candidate at a dynamic-instruction distance of at least
+// NextWindow(rng) from the previous flip, one random bit each.
+type Plan struct {
+	// OnWrite selects the technique: false = inject-on-read, true =
+	// inject-on-write.
+	OnWrite bool
+	// FirstCand is the candidate index of the first injection.
+	FirstCand uint64
+	// MaxFlips is the paper's max-MBF: the maximum number of bit-flip
+	// errors in this run. Must be >= 1.
+	MaxFlips int
+	// SameReg corresponds to win-size = 0: all flips target the first
+	// candidate's register as distinct bits.
+	SameReg bool
+	// NextWindow samples the dynamic-instruction distance to the next
+	// injection. Required when !SameReg and MaxFlips > 1; must return a
+	// value >= 1.
+	NextWindow func(*xrand.Rand) uint64
+	// Rng drives slot, bit and window sampling. Required.
+	Rng *xrand.Rand
+	// PinnedBit pins the bit index of the FIRST flip (reduced modulo the
+	// target register width); use -1 to sample uniformly. Pinning supports
+	// the paper's §IV-C3 reruns, which start multi-bit experiments at the
+	// exact locations of earlier single-bit experiments.
+	PinnedBit int
+}
+
+var (
+	errPlanRng    = errors.New("vm: plan requires an Rng")
+	errPlanFlips  = errors.New("vm: plan requires MaxFlips >= 1")
+	errPlanWindow = errors.New("vm: multi-register plan requires NextWindow")
+)
+
+func (p *Plan) validate() error {
+	if p.Rng == nil {
+		return errPlanRng
+	}
+	if p.MaxFlips < 1 {
+		return errPlanFlips
+	}
+	if !p.SameReg && p.MaxFlips > 1 && p.NextWindow == nil {
+		return errPlanWindow
+	}
+	return nil
+}
+
+// maybeInjectRead performs due inject-on-read flips for the instruction at
+// dynamic index di, before it executes. nr is the instruction's register
+// read-slot count.
+func (m *machine) maybeInjectRead(di uint64, in *ir.Instr, regs []uint64, nr int) {
+	p := m.plan
+	if !m.firstDone {
+		if nr == 0 || m.readSlots+uint64(nr) <= p.FirstCand {
+			return
+		}
+		slot := int(p.FirstCand - m.readSlots)
+		reg := in.ReadSlot(slot)
+		m.applyFirst(di, regs, reg, ir.SlotWidth(in, slot).Bits())
+		return
+	}
+	if di < m.nextDyn || nr == 0 {
+		return
+	}
+	slot := p.Rng.Intn(nr)
+	reg := in.ReadSlot(slot)
+	m.applyFollow(di, regs, reg, ir.SlotWidth(in, slot).Bits())
+}
+
+// maybeInjectWrite performs due inject-on-write flips for the destination
+// register dst, just written by the instruction at dynamic index di.
+func (m *machine) maybeInjectWrite(di uint64, w ir.Width, regs []uint64, dst ir.Reg) {
+	p := m.plan
+	if !m.firstDone {
+		// m.writes has already been incremented for this instruction, so
+		// the candidate index of this write is m.writes-1.
+		if m.writes-1 != p.FirstCand {
+			return
+		}
+		m.applyFirst(di, regs, dst, w.Bits())
+		return
+	}
+	if di < m.nextDyn {
+		return
+	}
+	m.applyFollow(di, regs, dst, w.Bits())
+}
+
+// applyFirst performs the first injection on reg (width wbits).
+func (m *machine) applyFirst(di uint64, regs []uint64, reg ir.Reg, wbits int) {
+	p := m.plan
+	m.firstDone = true
+	if p.SameReg {
+		var mask uint64
+		if p.PinnedBit >= 0 {
+			// Honour the pin as one of the flipped bits, then add the rest.
+			mask = 1 << uint(p.PinnedBit%wbits)
+			for popcount(mask) < p.MaxFlips && popcount(mask) < wbits {
+				mask |= p.Rng.DistinctBits(1, wbits)
+			}
+		} else {
+			mask = p.Rng.DistinctBits(p.MaxFlips, wbits)
+		}
+		regs[reg] ^= mask
+		n := popcount(mask)
+		if n == 1 {
+			m.firstBit = trailingZeros(mask)
+		}
+		m.injected += n
+		for i := 0; i < n; i++ {
+			m.injDyns = append(m.injDyns, di)
+		}
+		m.planDone = true
+		return
+	}
+	bit := p.PinnedBit
+	if bit < 0 {
+		bit = p.Rng.Intn(wbits)
+	} else {
+		bit %= wbits
+	}
+	regs[reg] ^= 1 << uint(bit)
+	m.firstBit = bit
+	m.injected++
+	m.injDyns = append(m.injDyns, di)
+	if m.injected >= p.MaxFlips {
+		m.planDone = true
+		return
+	}
+	m.nextDyn = di + p.NextWindow(p.Rng)
+}
+
+// applyFollow performs a follow-up injection (multi-register mode).
+func (m *machine) applyFollow(di uint64, regs []uint64, reg ir.Reg, wbits int) {
+	p := m.plan
+	regs[reg] ^= 1 << uint(p.Rng.Intn(wbits))
+	m.injected++
+	m.injDyns = append(m.injDyns, di)
+	if m.injected >= p.MaxFlips {
+		m.planDone = true
+		return
+	}
+	m.nextDyn = di + p.NextWindow(p.Rng)
+}

@@ -1,0 +1,209 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"multiflip/internal/ir"
+	"multiflip/internal/xrand"
+)
+
+// fuzzTarget builds a program mixing integer, float, memory and control
+// flow, so random injections can reach every trap path.
+func fuzzTarget() *ir.Program {
+	mb := ir.NewModule("fuzz")
+	g := mb.GlobalU32s([]uint32{3, 1, 4, 1, 5, 9, 2, 6})
+	gOut := mb.GlobalZero(64)
+	f := mb.Func("main", 0)
+	acc := f.Let(ir.C(1))
+	facc := f.Let(ir.CF(1.0))
+	f.For(ir.C(0), ir.C(8), func(i ir.Reg) {
+		v := f.Load32(f.Idx(ir.C(g), i, 4), 0)
+		f.Mov(acc, f.Add(f.Mul(acc, ir.C(3)), v))
+		f.Mov(acc, f.Urem(acc, ir.C(100003)))
+		f.Mov(facc, f.Fadd(facc, f.Fdiv(f.SiToFp(ir.W32, v), ir.CF(3.5))))
+		f.If(f.Sgt(v, ir.C(4)), func() {
+			f.Store32(f.Idx(ir.C(gOut), i, 4), acc, 0)
+		})
+	})
+	f.Out32(acc)
+	f.Out64(facc)
+	f.RetVoid()
+	return mb.MustBuild()
+}
+
+// TestInjectionNeverErrors: whatever candidate, bit count and window the
+// fault model picks, Run must end in a classified stop — never a Go error
+// or panic.
+func TestInjectionNeverErrors(t *testing.T) {
+	p := fuzzTarget()
+	prof, err := Profile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(seed uint64, onWrite bool, maxFlips uint8, sameReg bool, win uint16) bool {
+		rng := xrand.New(seed)
+		space := prof.ReadSlots
+		if onWrite {
+			space = prof.Writes
+		}
+		flips := int(maxFlips)%30 + 1
+		plan := &Plan{
+			OnWrite:   onWrite,
+			FirstCand: rng.Uint64n(space * 2), // may exceed the space: must be a no-op
+			MaxFlips:  flips,
+			SameReg:   sameReg,
+			Rng:       rng,
+			PinnedBit: -1,
+		}
+		if !sameReg && flips > 1 {
+			w := uint64(win)%1000 + 1
+			plan.NextWindow = func(*xrand.Rand) uint64 { return w }
+		}
+		res, err := Run(p, Options{MaxDyn: prof.Dyn * 10, Plan: plan})
+		if err != nil {
+			return false
+		}
+		switch res.Stop {
+		case StopReturned, StopTrap, StopHang, StopOutputLimit:
+		default:
+			return false
+		}
+		return res.Injected <= flips
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectionDeterministicProperty: identical plans produce identical
+// observable results.
+func TestInjectionDeterministicProperty(t *testing.T) {
+	p := fuzzTarget()
+	prof, err := Profile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64, onWrite bool) bool {
+		mk := func() *Result {
+			rng := xrand.New(seed)
+			space := prof.ReadSlots
+			if onWrite {
+				space = prof.Writes
+			}
+			res, err := Run(p, Options{Plan: &Plan{
+				OnWrite:    onWrite,
+				FirstCand:  rng.Uint64n(space),
+				MaxFlips:   5,
+				NextWindow: func(r *xrand.Rand) uint64 { return r.Uint64n(50) + 1 },
+				Rng:        rng,
+				PinnedBit:  -1,
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		a, b := mk(), mk()
+		return a.Stop == b.Stop && a.Trap == b.Trap && a.Injected == b.Injected &&
+			a.Dyn == b.Dyn && bytes.Equal(a.Output, b.Output)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoAlignTrapOption: with the trap disabled, an unaligned in-segment
+// load succeeds.
+func TestNoAlignTrapOption(t *testing.T) {
+	mb := ir.NewModule("t")
+	f := mb.Func("main", 0)
+	g := mb.GlobalU32s([]uint32{0x04030201, 0x08070605})
+	f.Out32(f.Load32(ir.C(g+1), 0))
+	f.RetVoid()
+	p := mb.MustBuild()
+	res, err := Run(p, Options{NoAlignTrap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stop != StopReturned {
+		t.Fatalf("stop = %v trap = %v, want clean return", res.Stop, res.Trap)
+	}
+	if want := []byte{2, 3, 4, 5}; !bytes.Equal(res.Output, want) {
+		t.Fatalf("unaligned load = %x, want %x", res.Output, want)
+	}
+	// Bounds still enforced without alignment checks.
+	mb2 := ir.NewModule("t2")
+	f2 := mb2.Func("main", 0)
+	g2 := mb2.GlobalU32s([]uint32{1})
+	f2.Out32(f2.Load32(ir.C(g2+1), 0)) // crosses the end of globals
+	f2.RetVoid()
+	res2, err := Run(mb2.MustBuild(), Options{NoAlignTrap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Trap != TrapSegfault {
+		t.Fatalf("trap = %v, want segfault on out-of-bounds unaligned access", res2.Trap)
+	}
+}
+
+// TestInjectionIntoCallArgs: a flip landing on a call-argument slot must
+// reach the callee.
+func TestInjectionIntoCallArgs(t *testing.T) {
+	mb := ir.NewModule("t")
+	main := mb.Func("main", 0)
+	x := main.Let(ir.C(100))
+	main.Out32(main.Call("id", x)) // read slot 1 (slot 0 is Let? Let reads an imm -> no)
+	main.RetVoid()
+	id := mb.Func("id", 1)
+	id.Ret(id.Arg(0))
+	p := mb.MustBuild()
+	prof, err := Profile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.ReadSlots != 3 { // call arg + callee's ret operand + out
+		t.Fatalf("read slots = %d, want 3", prof.ReadSlots)
+	}
+	res, err := Run(p, Options{Plan: &Plan{
+		FirstCand: 0, // the call argument
+		MaxFlips:  1,
+		Rng:       xrand.New(1),
+		PinnedBit: 4,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := out32(100 ^ 16); !bytes.Equal(res.Output, want) {
+		t.Fatalf("output = %x, want %x", res.Output, want)
+	}
+}
+
+// TestLastCandidateReachable: FirstCand = space-1 injects exactly once.
+func TestLastCandidateReachable(t *testing.T) {
+	p := fuzzTarget()
+	prof, err := Profile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, onWrite := range []bool{false, true} {
+		space := prof.ReadSlots
+		if onWrite {
+			space = prof.Writes
+		}
+		res, err := Run(p, Options{Plan: &Plan{
+			OnWrite:   onWrite,
+			FirstCand: space - 1,
+			MaxFlips:  1,
+			Rng:       xrand.New(2),
+			PinnedBit: -1,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Injected != 1 {
+			t.Fatalf("onWrite=%v: last candidate not reached (injected=%d)", onWrite, res.Injected)
+		}
+	}
+}

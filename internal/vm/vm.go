@@ -1,0 +1,693 @@
+// Package vm executes ir.Programs and provides the mechanism half of fault
+// injection: it counts injection candidates as the program runs and applies
+// bit-flip masks to live registers at positions chosen by an injection
+// Plan. Policy — which candidates, how many flips, window sampling — lives
+// in internal/core.
+//
+// The VM also emulates the hardware-exception surface the study depends
+// on: corrupted addresses hit unmapped space (segmentation fault) or lose
+// alignment (misaligned access); corrupted divisors trap (arithmetic);
+// runaway control flow exhausts a dynamic-instruction budget (hang).
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"multiflip/internal/ir"
+)
+
+// TrapKind identifies the hardware exception that ended a run.
+type TrapKind int
+
+// Trap kinds, mirroring the exception classes in the paper's "Detected by
+// Hardware Exceptions" category (§III-E).
+const (
+	TrapNone TrapKind = iota
+	TrapSegfault
+	TrapMisaligned
+	TrapArithmetic
+	TrapAbort
+	TrapStackOverflow
+)
+
+var trapNames = map[TrapKind]string{
+	TrapNone:          "none",
+	TrapSegfault:      "segfault",
+	TrapMisaligned:    "misaligned",
+	TrapArithmetic:    "arithmetic",
+	TrapAbort:         "abort",
+	TrapStackOverflow: "stack-overflow",
+}
+
+// String implements fmt.Stringer.
+func (t TrapKind) String() string {
+	if s, ok := trapNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TrapKind(%d)", int(t))
+}
+
+// StopReason says why a run ended.
+type StopReason int
+
+// Stop reasons.
+const (
+	StopReturned    StopReason = iota + 1 // main returned normally
+	StopTrap                              // hardware exception raised
+	StopHang                              // dynamic-instruction budget exhausted
+	StopOutputLimit                       // output exceeded its limit (runaway output loop)
+)
+
+var stopNames = map[StopReason]string{
+	StopReturned:    "returned",
+	StopTrap:        "trap",
+	StopHang:        "hang",
+	StopOutputLimit: "output-limit",
+}
+
+// String implements fmt.Stringer.
+func (s StopReason) String() string {
+	if n, ok := stopNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("StopReason(%d)", int(s))
+}
+
+// Defaults for Options fields left zero.
+const (
+	DefaultMaxDyn    = 200_000_000
+	DefaultMaxOutput = 1 << 20
+	DefaultMaxDepth  = 256
+)
+
+// Options configures a run.
+type Options struct {
+	// MaxDyn is the dynamic-instruction budget; exceeding it stops the run
+	// with StopHang. Zero selects DefaultMaxDyn.
+	MaxDyn uint64
+	// MaxOutput caps the output buffer. Zero selects DefaultMaxOutput.
+	MaxOutput int
+	// MaxDepth caps call depth; exceeding it raises TrapStackOverflow.
+	// Zero selects DefaultMaxDepth.
+	MaxDepth int
+	// NoAlignTrap disables the misaligned-access exception: unaligned
+	// accesses inside a segment then succeed, as on hardware that supports
+	// unaligned loads. Used by the alignment ablation study.
+	NoAlignTrap bool
+	// CountRoles additionally classifies every candidate slot by
+	// ir.SlotRole during the run (address/data/control/float), filling
+	// Result.ReadRoles and Result.WriteRoles. Profiling only: it slows the
+	// interpreter loop.
+	CountRoles bool
+	// Plan, when non-nil, enables register fault injection for this run.
+	Plan *Plan
+	// MemFlips, when non-empty, flips bits in global-memory words at given
+	// dynamic instants (the ECC-escape scenario of the paper's future
+	// work). Entries must be sorted by AtDyn.
+	MemFlips []MemFlip
+}
+
+// MemFlip describes one memory-word corruption: just before the dynamic
+// instruction at AtDyn executes, the 8-byte global word at byte offset
+// Word (8-aligned) is XORed with Mask.
+type MemFlip struct {
+	// AtDyn is the dynamic-instruction index at which the flip lands.
+	AtDyn uint64
+	// Word is the byte offset of the 8-byte-aligned word within the
+	// global segment.
+	Word uint64
+	// Mask is the XOR mask applied to the word (little-endian).
+	Mask uint64
+}
+
+// Result reports everything observable about a run.
+type Result struct {
+	Stop   StopReason
+	Trap   TrapKind
+	Output []byte
+	// Dyn counts executed dynamic instructions.
+	Dyn uint64
+	// ReadSlots counts dynamic register-read operand slots: the
+	// inject-on-read candidate space (Table II, left column).
+	ReadSlots uint64
+	// Writes counts dynamic instructions with a destination register: the
+	// inject-on-write candidate space (Table II, right column).
+	Writes uint64
+	// Injected is the number of bit-flip errors performed (activated).
+	Injected int
+	// FirstBit is the bit index of the first injection within its target
+	// register, or -1 if no injection occurred or the first injection
+	// flipped multiple bits (same-register multi-flip). Campaigns record
+	// it so later runs can pin the exact same first error (§IV-C3).
+	FirstBit int
+	// InjectionDyns records the dynamic index of each injection.
+	InjectionDyns []uint64
+	// ReadRoles counts inject-on-read candidates by ir.SlotRole; filled
+	// only when Options.CountRoles is set.
+	ReadRoles [ir.NumSlotRoles]uint64
+	// WriteRoles counts inject-on-write candidates by ir.SlotRole; filled
+	// only when Options.CountRoles is set.
+	WriteRoles [ir.NumSlotRoles]uint64
+}
+
+// frame is one call-stack entry.
+type frame struct {
+	code    []ir.Instr
+	pc      int
+	regs    []uint64
+	savedSP int
+	retDst  ir.Reg // register in the CALLER receiving the return value
+	hasRet  bool
+}
+
+// machine is the transient run state.
+type machine struct {
+	prog      *ir.Program
+	globals   []byte
+	stack     []byte
+	sp        int
+	frames    []frame
+	out       []byte
+	maxOut    int
+	maxDepth  int
+	dyn       uint64
+	maxDyn    uint64
+	readSlots uint64
+	writes    uint64
+
+	noAlign    bool
+	countRoles bool
+	readRoles  [ir.NumSlotRoles]uint64
+	writeRoles [ir.NumSlotRoles]uint64
+	plan       *Plan
+	memFlips   []MemFlip
+	memIdx     int
+	injected   int
+	firstBit   int
+	firstDone  bool
+	planDone   bool
+	nextDyn    uint64 // next dynamic index eligible for a follow-up injection
+	injDyns    []uint64
+
+	trap TrapKind
+	stop StopReason
+}
+
+var errNoMain = errors.New("vm: program main must take no arguments")
+
+// Run executes p under opts and returns the observable result. Structural
+// errors (invalid program shape) return an error; traps, hangs and output
+// overflows are reported in Result.
+func Run(p *ir.Program, opts Options) (*Result, error) {
+	mainFn := p.Funcs[p.Main]
+	if mainFn.NumArgs != 0 {
+		return nil, errNoMain
+	}
+	m := &machine{
+		prog:       p,
+		globals:    append([]byte(nil), p.Globals...),
+		maxOut:     opts.MaxOutput,
+		maxDepth:   opts.MaxDepth,
+		maxDyn:     opts.MaxDyn,
+		noAlign:    opts.NoAlignTrap,
+		countRoles: opts.CountRoles,
+		plan:       opts.Plan,
+		memFlips:   opts.MemFlips,
+		firstBit:   -1,
+	}
+	if m.maxOut == 0 {
+		m.maxOut = DefaultMaxOutput
+	}
+	if m.maxDepth == 0 {
+		m.maxDepth = DefaultMaxDepth
+	}
+	if m.maxDyn == 0 {
+		m.maxDyn = DefaultMaxDyn
+	}
+	if m.plan != nil {
+		if err := m.plan.validate(); err != nil {
+			return nil, err
+		}
+	}
+	m.pushFrame(mainFn, nil, ir.NoReg, false)
+	m.run()
+	return &Result{
+		Stop:          m.stop,
+		Trap:          m.trap,
+		Output:        m.out,
+		Dyn:           m.dyn,
+		ReadSlots:     m.readSlots,
+		Writes:        m.writes,
+		Injected:      m.injected,
+		FirstBit:      m.firstBit,
+		InjectionDyns: m.injDyns,
+		ReadRoles:     m.readRoles,
+		WriteRoles:    m.writeRoles,
+	}, nil
+}
+
+// Profile runs p fault-free and returns the result; callers use it to
+// capture the golden output, the fault-free dynamic instruction count, the
+// candidate-space sizes and the per-role candidate composition.
+func Profile(p *ir.Program) (*Result, error) {
+	res, err := Run(p, Options{CountRoles: true})
+	if err != nil {
+		return nil, err
+	}
+	if res.Stop != StopReturned {
+		return nil, fmt.Errorf("vm: fault-free run of %s stopped with %s/%s",
+			p.Name, res.Stop, res.Trap)
+	}
+	return res, nil
+}
+
+func (m *machine) pushFrame(f *ir.Func, args []uint64, retDst ir.Reg, hasRet bool) {
+	regs := make([]uint64, f.NumRegs)
+	copy(regs, args)
+	m.frames = append(m.frames, frame{
+		code:    f.Code,
+		regs:    regs,
+		savedSP: m.sp,
+		retDst:  retDst,
+		hasRet:  hasRet,
+	})
+}
+
+func (m *machine) trapOut(k TrapKind) {
+	m.trap = k
+	m.stop = StopTrap
+}
+
+// val returns the raw 64-bit payload of an operand.
+func val(regs []uint64, o ir.Operand) uint64 {
+	if o.IsImm() {
+		return o.Imm()
+	}
+	return regs[o.Reg()]
+}
+
+// run is the interpreter loop. It sets m.stop before returning.
+func (m *machine) run() {
+	fr := &m.frames[len(m.frames)-1]
+	for {
+		if m.dyn >= m.maxDyn {
+			m.stop = StopHang
+			return
+		}
+		di := m.dyn
+		m.dyn++
+		if m.memIdx < len(m.memFlips) && di >= m.memFlips[m.memIdx].AtDyn {
+			m.applyMemFlip(di)
+		}
+		in := &fr.code[fr.pc]
+		nr := in.NumRegReads()
+
+		// Inject-on-read: corrupt a source register just before the
+		// instruction consumes it.
+		if m.plan != nil && !m.planDone && !m.plan.OnWrite {
+			m.maybeInjectRead(di, in, fr.regs, nr)
+		}
+		m.readSlots += uint64(nr)
+		if m.countRoles {
+			for s := 0; s < nr; s++ {
+				m.readRoles[ir.ReadSlotRole(in, s)]++
+			}
+			if in.HasDst() && in.Op != ir.OpCall {
+				m.writeRoles[ir.DestRole(in)]++
+			} else if in.Op == ir.OpRet && fr.hasRet {
+				m.writeRoles[ir.RoleOther]++ // the caller's call result
+			}
+		}
+
+		regs := fr.regs
+		advance := true
+		switch in.Op {
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+			ir.OpShl, ir.OpLShr, ir.OpAShr:
+			mask := in.W.Mask()
+			a := val(regs, in.A) & mask
+			b := val(regs, in.B) & mask
+			regs[in.Dst] = intBin(in.Op, in.W, a, b) & mask
+
+		case ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem:
+			mask := in.W.Mask()
+			a := val(regs, in.A) & mask
+			b := val(regs, in.B) & mask
+			r, trap := intDiv(in.Op, in.W, a, b)
+			if trap != TrapNone {
+				m.trapOut(trap)
+				return
+			}
+			regs[in.Dst] = r & mask
+
+		case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+			a := math.Float64frombits(val(regs, in.A))
+			b := math.Float64frombits(val(regs, in.B))
+			regs[in.Dst] = math.Float64bits(floatBin(in.Op, a, b))
+
+		case ir.OpFNeg:
+			regs[in.Dst] = math.Float64bits(-math.Float64frombits(val(regs, in.A)))
+		case ir.OpFAbs:
+			regs[in.Dst] = math.Float64bits(math.Abs(math.Float64frombits(val(regs, in.A))))
+		case ir.OpFSqrt:
+			regs[in.Dst] = math.Float64bits(math.Sqrt(math.Float64frombits(val(regs, in.A))))
+
+		case ir.OpSExt:
+			regs[in.Dst] = uint64(in.W.SignExtend(val(regs, in.A) & in.W.Mask()))
+		case ir.OpZExt, ir.OpTrunc:
+			regs[in.Dst] = val(regs, in.A) & in.W.Mask()
+		case ir.OpSIToFP:
+			regs[in.Dst] = math.Float64bits(float64(in.W.SignExtend(val(regs, in.A) & in.W.Mask())))
+		case ir.OpFPToSI:
+			regs[in.Dst] = fpToSI(math.Float64frombits(val(regs, in.A)), in.W)
+		case ir.OpBitcast, ir.OpMov:
+			regs[in.Dst] = val(regs, in.A)
+
+		case ir.OpICmpEQ, ir.OpICmpNE, ir.OpICmpULT, ir.OpICmpULE,
+			ir.OpICmpSLT, ir.OpICmpSLE:
+			mask := in.W.Mask()
+			a := val(regs, in.A) & mask
+			b := val(regs, in.B) & mask
+			regs[in.Dst] = boolBit(intCmp(in.Op, in.W, a, b))
+		case ir.OpFCmpEQ, ir.OpFCmpNE, ir.OpFCmpLT, ir.OpFCmpLE:
+			a := math.Float64frombits(val(regs, in.A))
+			b := math.Float64frombits(val(regs, in.B))
+			regs[in.Dst] = boolBit(floatCmp(in.Op, a, b))
+
+		case ir.OpSelect:
+			if val(regs, in.A) != 0 {
+				regs[in.Dst] = val(regs, in.B)
+			} else {
+				regs[in.Dst] = val(regs, in.C)
+			}
+
+		case ir.OpLoad:
+			addr := val(regs, in.A) + uint64(in.Off)
+			v, trap := m.load(addr, in.W.Bytes())
+			if trap != TrapNone {
+				m.trapOut(trap)
+				return
+			}
+			regs[in.Dst] = v
+		case ir.OpStore:
+			addr := val(regs, in.A) + uint64(in.Off)
+			if trap := m.store(addr, in.W.Bytes(), val(regs, in.B)); trap != TrapNone {
+				m.trapOut(trap)
+				return
+			}
+		case ir.OpAlloca:
+			// The stack segment materializes on first use; programs with
+			// no allocas never pay for it.
+			if m.stack == nil {
+				m.stack = make([]byte, ir.StackSize)
+			}
+			size := (in.Off + 7) &^ 7
+			if m.sp+int(size) > len(m.stack) {
+				m.trapOut(TrapStackOverflow)
+				return
+			}
+			regs[in.Dst] = uint64(ir.StackBase + m.sp)
+			m.sp += int(size)
+
+		case ir.OpBr:
+			fr.pc = int(in.Off)
+			advance = false
+		case ir.OpCondBr:
+			if val(regs, in.A) != 0 {
+				fr.pc = int(in.Off)
+				advance = false
+			}
+
+		case ir.OpCall:
+			if len(m.frames) >= m.maxDepth {
+				m.trapOut(TrapStackOverflow)
+				return
+			}
+			callee := m.prog.Funcs[in.Off]
+			var argbuf [8]uint64
+			args := argbuf[:0]
+			for _, a := range in.Args {
+				args = append(args, val(regs, a))
+			}
+			fr.pc++ // resume after the call
+			m.pushFrame(callee, args, in.Dst, in.HasDst())
+			// The call's destination is written when the callee returns;
+			// it becomes an inject-on-write candidate at OpRet.
+			fr = &m.frames[len(m.frames)-1]
+			advance = false
+
+		case ir.OpRet:
+			retVal := uint64(0)
+			hasVal := !in.A.IsNone()
+			if hasVal {
+				retVal = val(regs, in.A)
+			}
+			m.sp = fr.savedSP
+			retDst, hasRet := fr.retDst, fr.hasRet
+			m.frames = m.frames[:len(m.frames)-1]
+			if len(m.frames) == 0 {
+				m.stop = StopReturned
+				return
+			}
+			caller := &m.frames[len(m.frames)-1]
+			if hasRet {
+				caller.regs[retDst] = retVal
+			}
+			fr = caller
+			advance = false
+			// The caller's Call instruction wrote its destination now;
+			// treat the return as that write for injection purposes.
+			if hasRet {
+				m.writes++
+				if m.plan != nil && !m.planDone && m.plan.OnWrite {
+					m.maybeInjectWrite(di, ir.W64, caller.regs, retDst)
+				}
+			}
+
+		case ir.OpOut:
+			v := val(regs, in.A) & in.W.Mask()
+			n := in.W.Bytes()
+			for i := 0; i < n; i++ {
+				m.out = append(m.out, byte(v>>(8*uint(i))))
+			}
+			if len(m.out) > m.maxOut {
+				m.stop = StopOutputLimit
+				return
+			}
+		case ir.OpAbort:
+			m.trapOut(TrapAbort)
+			return
+		default:
+			m.trapOut(TrapAbort)
+			return
+		}
+
+		// Inject-on-write: corrupt the destination register just after the
+		// instruction writes it. Calls are handled at their matching Ret.
+		if in.HasDst() && in.Op != ir.OpCall {
+			m.writes++
+			if m.plan != nil && !m.planDone && m.plan.OnWrite {
+				m.maybeInjectWrite(di, ir.DestWidth(in), regs, in.Dst)
+			}
+		}
+
+		if advance {
+			fr.pc++
+		}
+	}
+}
+
+// boolBit converts a bool to 0/1.
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// intBin evaluates non-trapping integer binaries on width-masked inputs.
+func intBin(op ir.Op, w ir.Width, a, b uint64) uint64 {
+	switch op {
+	case ir.OpAdd:
+		return a + b
+	case ir.OpSub:
+		return a - b
+	case ir.OpMul:
+		return a * b
+	case ir.OpAnd:
+		return a & b
+	case ir.OpOr:
+		return a | b
+	case ir.OpXor:
+		return a ^ b
+	case ir.OpShl:
+		return a << (b & uint64(w.Bits()-1))
+	case ir.OpLShr:
+		return a >> (b & uint64(w.Bits()-1))
+	case ir.OpAShr:
+		sh := b & uint64(w.Bits()-1)
+		return uint64(w.SignExtend(a) >> sh)
+	}
+	panic("vm: intBin bad op")
+}
+
+// intDiv evaluates division/remainder, reporting arithmetic traps.
+func intDiv(op ir.Op, w ir.Width, a, b uint64) (uint64, TrapKind) {
+	if b == 0 {
+		return 0, TrapArithmetic
+	}
+	switch op {
+	case ir.OpUDiv:
+		return a / b, TrapNone
+	case ir.OpURem:
+		return a % b, TrapNone
+	}
+	sa, sb := w.SignExtend(a), w.SignExtend(b)
+	// INT_MIN / -1 overflows: x86 raises #DE.
+	if sb == -1 && sa == minInt(w) {
+		return 0, TrapArithmetic
+	}
+	switch op {
+	case ir.OpSDiv:
+		return uint64(sa / sb), TrapNone
+	case ir.OpSRem:
+		return uint64(sa % sb), TrapNone
+	}
+	panic("vm: intDiv bad op")
+}
+
+func minInt(w ir.Width) int64 {
+	return -(int64(1) << uint(w.Bits()-1))
+}
+
+func floatBin(op ir.Op, a, b float64) float64 {
+	switch op {
+	case ir.OpFAdd:
+		return a + b
+	case ir.OpFSub:
+		return a - b
+	case ir.OpFMul:
+		return a * b
+	case ir.OpFDiv:
+		return a / b
+	}
+	panic("vm: floatBin bad op")
+}
+
+func intCmp(op ir.Op, w ir.Width, a, b uint64) bool {
+	switch op {
+	case ir.OpICmpEQ:
+		return a == b
+	case ir.OpICmpNE:
+		return a != b
+	case ir.OpICmpULT:
+		return a < b
+	case ir.OpICmpULE:
+		return a <= b
+	case ir.OpICmpSLT:
+		return w.SignExtend(a) < w.SignExtend(b)
+	case ir.OpICmpSLE:
+		return w.SignExtend(a) <= w.SignExtend(b)
+	}
+	panic("vm: intCmp bad op")
+}
+
+func floatCmp(op ir.Op, a, b float64) bool {
+	switch op {
+	case ir.OpFCmpEQ:
+		return a == b
+	case ir.OpFCmpNE:
+		return a != b
+	case ir.OpFCmpLT:
+		return a < b
+	case ir.OpFCmpLE:
+		return a <= b
+	}
+	panic("vm: floatCmp bad op")
+}
+
+// fpToSI converts saturating, then truncates to width.
+func fpToSI(f float64, w ir.Width) uint64 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	lo, hi := float64(minInt(w)), float64(uint64(1)<<uint(w.Bits()-1)-1)
+	if f < lo {
+		f = lo
+	}
+	if f > hi {
+		f = hi
+	}
+	return uint64(int64(f)) & w.Mask()
+}
+
+// load reads size bytes little-endian from the segmented address space.
+func (m *machine) load(addr uint64, size int) (uint64, TrapKind) {
+	seg, off, trap := m.resolve(addr, size)
+	if trap != TrapNone {
+		return 0, trap
+	}
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(seg[off+i])
+	}
+	return v, TrapNone
+}
+
+// store writes size bytes little-endian.
+func (m *machine) store(addr uint64, size int, v uint64) TrapKind {
+	seg, off, trap := m.resolve(addr, size)
+	if trap != TrapNone {
+		return trap
+	}
+	for i := 0; i < size; i++ {
+		seg[off+i] = byte(v >> (8 * uint(i)))
+	}
+	return TrapNone
+}
+
+// resolve maps a virtual address range onto a segment, enforcing alignment
+// and bounds. Unmapped access is a segmentation fault; unaligned access is
+// a misaligned-access exception.
+func (m *machine) resolve(addr uint64, size int) ([]byte, int, TrapKind) {
+	if size > 1 && addr%uint64(size) != 0 && !m.noAlign {
+		return nil, 0, TrapMisaligned
+	}
+	if addr >= ir.GlobalBase && addr+uint64(size) <= ir.GlobalBase+uint64(len(m.globals)) {
+		return m.globals, int(addr - ir.GlobalBase), TrapNone
+	}
+	// Only the live part of the stack ([StackBase, StackBase+sp)) is mapped.
+	if addr >= ir.StackBase && addr+uint64(size) <= ir.StackBase+uint64(m.sp) {
+		return m.stack, int(addr - ir.StackBase), TrapNone
+	}
+	return nil, 0, TrapSegfault
+}
+
+// applyMemFlip performs every due memory flip at dynamic index di.
+func (m *machine) applyMemFlip(di uint64) {
+	for m.memIdx < len(m.memFlips) && di >= m.memFlips[m.memIdx].AtDyn {
+		mf := m.memFlips[m.memIdx]
+		m.memIdx++
+		if mf.Word+8 > uint64(len(m.globals)) {
+			continue // outside the global image: nothing to corrupt
+		}
+		w := m.globals[mf.Word : mf.Word+8]
+		v := uint64(0)
+		for i := 7; i >= 0; i-- {
+			v = v<<8 | uint64(w[i])
+		}
+		v ^= mf.Mask
+		for i := 0; i < 8; i++ {
+			w[i] = byte(v >> (8 * uint(i)))
+		}
+		m.injected += popcount(mf.Mask)
+		m.injDyns = append(m.injDyns, di)
+	}
+}
+
+// popcount and trailingZeros are small aliases used by the injector.
+func popcount(v uint64) int      { return bits.OnesCount64(v) }
+func trailingZeros(v uint64) int { return bits.TrailingZeros64(v) }
