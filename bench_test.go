@@ -261,6 +261,50 @@ func BenchmarkVMGoldenRun(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignSnapshot measures one Table I campaign (qsort,
+// inject-on-read, single-bit) with golden-run snapshot fast-forwarding,
+// against the full-replay baseline below. The differential tests guarantee
+// both produce bit-identical results; the delta here is pure wall-clock.
+func BenchmarkCampaignSnapshot(b *testing.B) {
+	benchCampaignSnapshot(b, false)
+}
+
+// BenchmarkCampaignNoSnapshot is the full-replay baseline for
+// BenchmarkCampaignSnapshot.
+func BenchmarkCampaignNoSnapshot(b *testing.B) {
+	benchCampaignSnapshot(b, true)
+}
+
+func benchCampaignSnapshot(b *testing.B, noSnapshots bool) {
+	bench, err := prog.ByName("qsort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := bench.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := core.NewTarget(bench.Name, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const perIter = 200
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunCampaign(core.CampaignSpec{
+			Target:      target,
+			Technique:   core.InjectOnRead,
+			Config:      core.SingleBit(),
+			N:           perIter,
+			Seed:        uint64(i),
+			NoSnapshots: noSnapshots,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(perIter)*float64(b.N)/b.Elapsed().Seconds(), "experiments/s")
+}
+
 // BenchmarkCampaignThroughput measures end-to-end experiments per second
 // of the parallel campaign runner.
 func BenchmarkCampaignThroughput(b *testing.B) {

@@ -32,15 +32,16 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "campaign seed (campaigns are exactly reproducible)")
 		hang     = flag.Uint64("hang", core.DefaultHangFactor, "hang budget as a multiple of the fault-free dynamic instruction count")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		nosnap   = flag.Bool("nosnap", false, "disable golden-run snapshot fast-forwarding (full prefix replay)")
 	)
 	flag.Parse()
-	if err := run(*progName, *tech, *mbf, *win, *n, *seed, *hang, *workers); err != nil {
+	if err := run(*progName, *tech, *mbf, *win, *n, *seed, *hang, *workers, *nosnap); err != nil {
 		fmt.Fprintln(os.Stderr, "fi:", err)
 		os.Exit(1)
 	}
 }
 
-func run(progName, techName string, mbf int, winSpec string, n int, seed, hang uint64, workers int) error {
+func run(progName, techName string, mbf int, winSpec string, n int, seed, hang uint64, workers int, nosnap bool) error {
 	b, err := prog.ByName(progName)
 	if err != nil {
 		return err
@@ -68,13 +69,14 @@ func run(progName, techName string, mbf int, winSpec string, n int, seed, hang u
 	}
 	cfg := core.Config{MaxMBF: mbf, Win: win}
 	res, err := core.RunCampaign(core.CampaignSpec{
-		Target:     target,
-		Technique:  tech,
-		Config:     cfg,
-		N:          n,
-		Seed:       seed,
-		HangFactor: hang,
-		Workers:    workers,
+		Target:      target,
+		Technique:   tech,
+		Config:      cfg,
+		N:           n,
+		Seed:        seed,
+		HangFactor:  hang,
+		Workers:     workers,
+		NoSnapshots: nosnap,
 	})
 	if err != nil {
 		return err

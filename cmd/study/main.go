@@ -36,6 +36,7 @@ func main() {
 		ablations   = flag.Bool("ablations", true, "run the hang-budget and alignment ablations")
 		memfaults   = flag.Bool("memfault", true, "run the memory-word multi-bit fault extension (paper future work)")
 		workers     = flag.Int("workers", 0, "parallel workers per campaign (0 = GOMAXPROCS)")
+		nosnap      = flag.Bool("nosnap", false, "disable golden-run snapshot fast-forwarding (full prefix replay)")
 		out         = flag.String("o", "", "output file (empty = stdout)")
 		csvDir      = flag.String("csv", "", "also write each table as CSV into this directory")
 		composition = flag.Bool("composition", false, "only run single-bit campaigns and print the candidate-composition tables")
@@ -46,7 +47,7 @@ func main() {
 		n: *n, seed: *seed, progs: *progs, quick: *quick,
 		transitions: *transitions, ablations: *ablations, memfaults: *memfaults,
 		composition: *composition,
-		workers:     *workers, out: *out, csvDir: *csvDir, verbose: *verbose,
+		workers:     *workers, nosnap: *nosnap, out: *out, csvDir: *csvDir, verbose: *verbose,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "study:", err)
 		os.Exit(1)
@@ -64,6 +65,7 @@ type params struct {
 	memfaults   bool
 	composition bool
 	workers     int
+	nosnap      bool
 	out         string
 	csvDir      string
 	verbose     bool
@@ -72,9 +74,10 @@ type params struct {
 func run(p params) error {
 	n, seed := p.n, p.seed
 	opts := study.Options{
-		N:       n,
-		Seed:    seed,
-		Workers: p.workers,
+		N:           n,
+		Seed:        seed,
+		Workers:     p.workers,
+		NoSnapshots: p.nosnap,
 	}
 	if p.progs != "" {
 		opts.Programs = strings.Split(p.progs, ",")

@@ -1,0 +1,3 @@
+module multiflip
+
+go 1.24

@@ -76,6 +76,12 @@ type CampaignSpec struct {
 	// NoAlignTrap disables the misaligned-access exception (alignment
 	// ablation).
 	NoAlignTrap bool
+	// NoSnapshots forces every experiment to replay the fault-free prefix
+	// from instruction 0 instead of fast-forwarding from the target's
+	// golden-run snapshots. Results are bit-identical either way (the
+	// differential tests enforce it); the knob exists for that comparison
+	// and as an escape hatch.
+	NoSnapshots bool
 	// Pins, when non-empty, forces experiment i's first injection to
 	// Pins[i] and sets N = len(Pins).
 	Pins []Pin
@@ -279,11 +285,20 @@ func runOne(spec *CampaignSpec, idx uint64, pin *Pin) (Experiment, error) {
 	if hangFactor == 0 {
 		hangFactor = DefaultHangFactor
 	}
+	// Fast-forward past the fault-free prefix: resume from the latest
+	// golden-run snapshot preceding the first injection candidate. The
+	// prefix is deterministic and consumes no randomness, so the outcome
+	// is bit-identical to a full replay.
+	var resume *vm.Snapshot
+	if !spec.NoSnapshots {
+		resume = t.SnapshotBefore(spec.Technique, cand)
+	}
 	res, err := vm.Run(t.Prog, vm.Options{
 		MaxDyn:      hangFactor*t.GoldenDyn + 1000,
 		MaxOutput:   4*len(t.Golden) + 4096,
 		NoAlignTrap: spec.NoAlignTrap,
 		Plan:        plan,
+		Resume:      resume,
 	})
 	if err != nil {
 		return Experiment{}, fmt.Errorf("core: %s experiment %d: %w", t.Name, idx, err)

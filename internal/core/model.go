@@ -3,6 +3,22 @@
 // the (max-MBF, win-size) error-space clustering of §III-C, experiment
 // outcome classification (§III-E), and a parallel, deterministic campaign
 // runner.
+//
+// # Golden-run fast-forwarding
+//
+// Target preparation (NewTarget) records vm.Snapshots of the golden run
+// every DefaultSnapshotInterval dynamic instructions. Each campaign
+// experiment then resumes from the latest snapshot whose candidate
+// counter (read slots for inject-on-read, register writes for
+// inject-on-write) does not exceed the experiment's first injection
+// candidate, skipping the fault-free prefix instead of re-executing it.
+// The prefix is deterministic and consumes none of the experiment's
+// random stream — randomness is derived from (Seed, experiment index)
+// only — so campaign results are bit-identical for any worker count and
+// any checkpoint interval, including none (CampaignSpec.NoSnapshots); the
+// differential tests in snapshot_diff_test.go enforce this. For uniformly
+// drawn candidates the skipped prefix averages half the golden run, the
+// overhead checkpoint-based fault injectors exist to eliminate.
 package core
 
 import (

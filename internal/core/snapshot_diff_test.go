@@ -1,0 +1,180 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"multiflip/internal/core"
+	"multiflip/internal/prog"
+)
+
+// diffConfigs spans the fault-model shapes that stress the fast-forward
+// path differently: single-bit, same-register multi-bit (win-size 0), and
+// multi-register windows (fixed and random).
+var diffConfigs = []core.Config{
+	core.SingleBit(),
+	{MaxMBF: 4, Win: core.Win(0)},
+	{MaxMBF: 3, Win: core.Win(10)},
+	{MaxMBF: 2, Win: core.WinRange(2, 10)},
+}
+
+// TestCampaignSnapshotDifferential enforces the tentpole invariant: for
+// every workload, both techniques and several fault models, a campaign
+// fast-forwarded from golden-run snapshots produces experiment records
+// bit-identical to a full-replay campaign.
+func TestCampaignSnapshotDifferential(t *testing.T) {
+	const (
+		n    = 40
+		seed = 12345
+	)
+	for _, bench := range prog.All() {
+		p, err := bench.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", bench.Name, err)
+		}
+		target, err := core.NewTarget(bench.Name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(target.Snapshots) == 0 {
+			t.Fatalf("%s: target has no golden-run snapshots", bench.Name)
+		}
+		for _, tech := range core.Techniques() {
+			for _, cfg := range diffConfigs {
+				spec := core.CampaignSpec{
+					Target:    target,
+					Technique: tech,
+					Config:    cfg,
+					N:         n,
+					Seed:      seed,
+					Record:    true,
+				}
+				fast, err := core.RunCampaign(spec)
+				if err != nil {
+					t.Fatalf("%s %s %s: %v", bench.Name, tech, cfg, err)
+				}
+				spec.NoSnapshots = true
+				slow, err := core.RunCampaign(spec)
+				if err != nil {
+					t.Fatalf("%s %s %s (no snapshots): %v", bench.Name, tech, cfg, err)
+				}
+				if !reflect.DeepEqual(fast.Experiments, slow.Experiments) {
+					t.Errorf("%s %s %s: experiments diverge between snapshot and full-replay campaigns",
+						bench.Name, tech, cfg)
+					continue
+				}
+				if fast.Counts != slow.Counts || fast.TrapCounts != slow.TrapCounts ||
+					fast.CrashActivated != slow.CrashActivated ||
+					fast.ActivatedTotal != slow.ActivatedTotal {
+					t.Errorf("%s %s %s: aggregates diverge between snapshot and full-replay campaigns",
+						bench.Name, tech, cfg)
+				}
+			}
+		}
+	}
+}
+
+// TestCampaignSnapshotIntervalInvariance checks that results do not depend
+// on where checkpoints happen to fall: targets prepared with very
+// different snapshot intervals (and the snapshot-free target) all yield
+// the same experiments.
+func TestCampaignSnapshotIntervalInvariance(t *testing.T) {
+	const (
+		n    = 60
+		seed = 777
+	)
+	bench, err := prog.ByName("qsort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := bench.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []core.TargetOptions{
+		{NoSnapshots: true},
+		{SnapshotInterval: 17, MaxSnapshots: 4}, // tiny interval, heavy thinning
+		{SnapshotInterval: 500},
+		{SnapshotInterval: 1 << 30}, // beyond the golden run: no snapshots land
+	}
+	baseline := make(map[core.Technique]*core.CampaignResult)
+	for i, topts := range variants {
+		target, err := core.NewTargetOpts(bench.Name, p, topts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tech := range core.Techniques() {
+			res, err := core.RunCampaign(core.CampaignSpec{
+				Target:    target,
+				Technique: tech,
+				Config:    core.Config{MaxMBF: 3, Win: core.Win(4)},
+				N:         n,
+				Seed:      seed + uint64(tech),
+				Record:    true,
+			})
+			if err != nil {
+				t.Fatalf("variant %d %s: %v", i, tech, err)
+			}
+			if i == 0 {
+				baseline[tech] = res
+				continue
+			}
+			if !reflect.DeepEqual(res.Experiments, baseline[tech].Experiments) {
+				t.Errorf("variant %d %s: experiments differ from full-replay baseline", i, tech)
+			}
+		}
+	}
+}
+
+// TestPinnedCampaignSnapshotDifferential covers the §IV-C3 rerun path:
+// pinned experiments (exact candidate + bit of an earlier single-bit run)
+// must also be invariant under fast-forwarding.
+func TestPinnedCampaignSnapshotDifferential(t *testing.T) {
+	bench, err := prog.ByName("CRC32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := bench.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := core.NewTarget(bench.Name, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := core.RunCampaign(core.CampaignSpec{
+		Target:    target,
+		Technique: core.InjectOnWrite,
+		Config:    core.SingleBit(),
+		N:         50,
+		Seed:      3,
+		Record:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins := make([]core.Pin, len(single.Experiments))
+	for i, e := range single.Experiments {
+		pins[i] = core.Pin{Cand: e.Cand, Bit: e.Bit}
+	}
+	spec := core.CampaignSpec{
+		Target:    target,
+		Technique: core.InjectOnWrite,
+		Config:    core.Config{MaxMBF: 3, Win: core.Win(1)},
+		Seed:      4,
+		Record:    true,
+		Pins:      pins,
+	}
+	fast, err := core.RunCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.NoSnapshots = true
+	slow, err := core.RunCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fast.Experiments, slow.Experiments) {
+		t.Error("pinned experiments diverge between snapshot and full-replay campaigns")
+	}
+}

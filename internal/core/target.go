@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"sort"
 
 	"multiflip/internal/ir"
 	"multiflip/internal/vm"
@@ -32,11 +33,48 @@ type Target struct {
 	ReadRoles [ir.NumSlotRoles]uint64
 	// WriteRoles decomposes the inject-on-write candidate space likewise.
 	WriteRoles [ir.NumSlotRoles]uint64
+	// Snapshots are golden-run checkpoints in ascending dynamic order;
+	// the campaign runner resumes experiments from them to skip the
+	// fault-free prefix. Empty when the target was prepared with
+	// TargetOptions.NoSnapshots.
+	Snapshots []*vm.Snapshot
 }
 
-// NewTarget profiles p fault-free and returns the prepared target.
+// DefaultSnapshotInterval is the golden-run checkpoint spacing in dynamic
+// instructions. The workloads run on the order of 10^4 fault-free
+// instructions, so this yields a few dozen snapshots per target; longer
+// runs are thinned by the VM toward vm.DefaultMaxSnapshots.
+const DefaultSnapshotInterval = 256
+
+// TargetOptions tunes target preparation.
+type TargetOptions struct {
+	// SnapshotInterval is the golden-run checkpoint spacing in dynamic
+	// instructions. Zero selects DefaultSnapshotInterval.
+	SnapshotInterval uint64
+	// MaxSnapshots bounds the stored snapshots (0 = vm.DefaultMaxSnapshots).
+	MaxSnapshots int
+	// NoSnapshots skips golden-run checkpointing entirely; every experiment
+	// then replays the fault-free prefix from instruction 0.
+	NoSnapshots bool
+}
+
+// NewTarget profiles p fault-free, recording golden-run snapshots at the
+// default interval, and returns the prepared target.
 func NewTarget(name string, p *ir.Program) (*Target, error) {
-	prof, err := vm.Profile(p)
+	return NewTargetOpts(name, p, TargetOptions{})
+}
+
+// NewTargetOpts is NewTarget with explicit preparation options.
+func NewTargetOpts(name string, p *ir.Program, opts TargetOptions) (*Target, error) {
+	var vopts vm.Options
+	if !opts.NoSnapshots {
+		vopts.Checkpoint = opts.SnapshotInterval
+		if vopts.Checkpoint == 0 {
+			vopts.Checkpoint = DefaultSnapshotInterval
+		}
+		vopts.MaxSnapshots = opts.MaxSnapshots
+	}
+	prof, err := vm.ProfileWith(p, vopts)
 	if err != nil {
 		return nil, fmt.Errorf("core: prepare %s: %w", name, err)
 	}
@@ -52,7 +90,25 @@ func NewTarget(name string, p *ir.Program) (*Target, error) {
 		WriteCands: prof.Writes,
 		ReadRoles:  prof.ReadRoles,
 		WriteRoles: prof.WriteRoles,
+		Snapshots:  prof.Snapshots,
 	}, nil
+}
+
+// SnapshotBefore returns the latest golden-run snapshot whose candidate
+// counter for the technique is <= cand — the furthest checkpoint from
+// which a run injecting first at candidate cand can legally resume — or
+// nil when no snapshot precedes the candidate.
+func (t *Target) SnapshotBefore(tech Technique, cand uint64) *vm.Snapshot {
+	onWrite := tech == InjectOnWrite
+	// Candidate counters increase with Dyn, so Snapshots is sorted by
+	// Candidates too; find the first snapshot past cand.
+	i := sort.Search(len(t.Snapshots), func(i int) bool {
+		return t.Snapshots[i].Candidates(onWrite) > cand
+	})
+	if i == 0 {
+		return nil
+	}
+	return t.Snapshots[i-1]
 }
 
 // Roles returns the candidate-role decomposition for a technique.

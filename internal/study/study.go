@@ -33,6 +33,10 @@ type Options struct {
 	Workers int
 	// HangFactor scales the hang budget (0 = core.DefaultHangFactor).
 	HangFactor uint64
+	// NoSnapshots disables golden-run fast-forwarding: every experiment
+	// replays its fault-free prefix from instruction 0. Results are
+	// bit-identical either way; the knob supports A/B timing and debugging.
+	NoSnapshots bool
 	// Log, when non-nil, receives one progress line per campaign batch.
 	Log io.Writer
 }
@@ -124,7 +128,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 	if err != nil {
 		return nil, fmt.Errorf("study: build %s: %w", name, err)
 	}
-	target, err := core.NewTarget(name, p)
+	target, err := core.NewTargetOpts(name, p, core.TargetOptions{NoSnapshots: opts.NoSnapshots})
 	if err != nil {
 		return nil, err
 	}
@@ -137,14 +141,15 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 		logf(opts.Log, "%s %s: single-bit + %d multi-bit campaigns (n=%d)",
 			name, tech, len(opts.MaxMBFs)*len(opts.WinSizes), opts.N)
 		single, err := core.RunCampaign(core.CampaignSpec{
-			Target:     target,
-			Technique:  tech,
-			Config:     core.SingleBit(),
-			N:          opts.N,
-			Seed:       campaignSeed(opts.Seed, name, tech, core.SingleBit()),
-			HangFactor: opts.HangFactor,
-			Workers:    opts.Workers,
-			Record:     true,
+			Target:      target,
+			Technique:   tech,
+			Config:      core.SingleBit(),
+			N:           opts.N,
+			Seed:        campaignSeed(opts.Seed, name, tech, core.SingleBit()),
+			HangFactor:  opts.HangFactor,
+			Workers:     opts.Workers,
+			Record:      true,
+			NoSnapshots: opts.NoSnapshots,
 		})
 		if err != nil {
 			return nil, err
@@ -154,13 +159,14 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 			for _, w := range opts.WinSizes {
 				cfg := core.Config{MaxMBF: m, Win: w}
 				res, err := core.RunCampaign(core.CampaignSpec{
-					Target:     target,
-					Technique:  tech,
-					Config:     cfg,
-					N:          opts.N,
-					Seed:       campaignSeed(opts.Seed, name, tech, cfg),
-					HangFactor: opts.HangFactor,
-					Workers:    opts.Workers,
+					Target:      target,
+					Technique:   tech,
+					Config:      cfg,
+					N:           opts.N,
+					Seed:        campaignSeed(opts.Seed, name, tech, cfg),
+					HangFactor:  opts.HangFactor,
+					Workers:     opts.Workers,
+					NoSnapshots: opts.NoSnapshots,
 				})
 				if err != nil {
 					return nil, err

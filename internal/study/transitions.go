@@ -52,14 +52,15 @@ func (s *Study) RunTransitions() (map[string]map[core.Technique]*TransitionResul
 				pins[i] = core.Pin{Cand: e.Cand, Bit: e.Bit}
 			}
 			pinned, err := core.RunCampaign(core.CampaignSpec{
-				Target:     d.Target,
-				Technique:  tech,
-				Config:     best.Config,
-				Seed:       campaignSeed(s.Opts.Seed, name+"/tran", tech, best.Config),
-				HangFactor: s.Opts.HangFactor,
-				Workers:    s.Opts.Workers,
-				Record:     true,
-				Pins:       pins,
+				Target:      d.Target,
+				Technique:   tech,
+				Config:      best.Config,
+				Seed:        campaignSeed(s.Opts.Seed, name+"/tran", tech, best.Config),
+				HangFactor:  s.Opts.HangFactor,
+				Workers:     s.Opts.Workers,
+				Record:      true,
+				Pins:        pins,
+				NoSnapshots: s.Opts.NoSnapshots,
 			})
 			if err != nil {
 				return nil, err

@@ -1,0 +1,148 @@
+package vm
+
+import (
+	"errors"
+
+	"multiflip/internal/ir"
+)
+
+// Snapshot captures the complete machine state at a dynamic-instruction
+// boundary: after the first Dyn instructions have fully executed and before
+// instruction Dyn begins. A snapshot is immutable once taken — capture and
+// restore both deep-copy every mutable segment (frames, register files,
+// globals, stack, output) — so one stored snapshot can seed any number of
+// concurrent resumed runs.
+//
+// Snapshots are the mechanism behind golden-run fast-forwarding: the
+// campaign runner records them during the fault-free profile run and starts
+// each experiment from the latest snapshot that precedes the experiment's
+// first injection candidate, skipping the deterministic fault-free prefix.
+type Snapshot struct {
+	// Dyn is the number of dynamic instructions executed before this
+	// snapshot; resuming continues with instruction index Dyn.
+	Dyn uint64
+	// ReadSlots is the number of register-read operand slots consumed so
+	// far: the inject-on-read candidate counter at the snapshot point.
+	ReadSlots uint64
+	// Writes is the number of destination-register writes performed so far:
+	// the inject-on-write candidate counter at the snapshot point.
+	Writes uint64
+
+	prog       *ir.Program
+	frames     []frame
+	globals    []byte
+	stack      []byte // live prefix [0, stackHW); nil when never materialized
+	sp         int
+	stackHW    int
+	out        []byte
+	readRoles  [ir.NumSlotRoles]uint64
+	writeRoles [ir.NumSlotRoles]uint64
+}
+
+// Candidates returns the snapshot's candidate counter for a technique:
+// Writes for inject-on-write, ReadSlots for inject-on-read. A plan whose
+// FirstCand is >= this value can safely resume from the snapshot.
+func (s *Snapshot) Candidates(onWrite bool) uint64 {
+	if onWrite {
+		return s.Writes
+	}
+	return s.ReadSlots
+}
+
+// DefaultMaxSnapshots bounds the snapshots a checkpointing run keeps when
+// Options.MaxSnapshots is zero. When the cap is reached the run drops every
+// other snapshot and doubles its interval, so any run length yields between
+// MaxSnapshots/2 and MaxSnapshots evenly spaced snapshots.
+const DefaultMaxSnapshots = 128
+
+// noSnap disables checkpointing in the interpreter loop.
+const noSnap = ^uint64(0)
+
+// takeSnapshot records the current machine state. Called at the top of the
+// interpreter loop, so m.dyn instructions have fully executed and every
+// counter is at an instruction boundary.
+func (m *machine) takeSnapshot() {
+	s := &Snapshot{
+		Dyn:        m.dyn,
+		ReadSlots:  m.readSlots,
+		Writes:     m.writes,
+		prog:       m.prog,
+		frames:     make([]frame, len(m.frames)),
+		globals:    append([]byte(nil), m.globals...),
+		sp:         m.sp,
+		stackHW:    m.stackHW,
+		out:        append([]byte(nil), m.out...),
+		readRoles:  m.readRoles,
+		writeRoles: m.writeRoles,
+	}
+	if m.stack != nil {
+		// Only [0, stackHW) has ever been written; bytes above are still
+		// zero and need not be stored.
+		s.stack = append([]byte(nil), m.stack[:m.stackHW]...)
+	}
+	for i, fr := range m.frames {
+		fr.regs = append([]uint64(nil), fr.regs...)
+		s.frames[i] = fr
+	}
+	m.snaps = append(m.snaps, s)
+	if len(m.snaps) >= m.maxSnaps {
+		// Thin to every other snapshot and double the interval; long runs
+		// keep bounded memory at proportionally coarser granularity.
+		k := 0
+		for i := 1; i < len(m.snaps); i += 2 {
+			m.snaps[k] = m.snaps[i]
+			k++
+		}
+		m.snaps = m.snaps[:k]
+		m.checkpoint *= 2
+	}
+	m.nextSnap = m.dyn + m.checkpoint
+}
+
+var (
+	errResumeProg      = errors.New("vm: resume snapshot belongs to a different program")
+	errResumeCand      = errors.New("vm: plan's first candidate precedes the resume snapshot")
+	errResumeMem       = errors.New("vm: memory flip scheduled before the resume snapshot")
+	errCheckpointFault = errors.New("vm: checkpointing a run with injections is not supported")
+)
+
+// restore initializes the machine from a snapshot, deep-copying every
+// mutable segment so the snapshot stays reusable. It returns an error when
+// the snapshot cannot reproduce a straight run under the machine's options:
+// wrong program, a plan whose first candidate the snapshot has already
+// passed, or a memory flip due before the snapshot point.
+func (m *machine) restore(s *Snapshot) error {
+	if s.prog != m.prog {
+		return errResumeProg
+	}
+	if p := m.plan; p != nil && p.FirstCand < s.Candidates(p.OnWrite) {
+		return errResumeCand
+	}
+	if len(m.memFlips) > 0 && m.memFlips[0].AtDyn < s.Dyn {
+		return errResumeMem
+	}
+	m.dyn = s.Dyn
+	m.readSlots = s.ReadSlots
+	m.writes = s.Writes
+	m.globals = append([]byte(nil), s.globals...)
+	m.sp = s.sp
+	m.stackHW = s.stackHW
+	if s.stack != nil {
+		m.stack = make([]byte, ir.StackSize)
+		copy(m.stack, s.stack)
+	}
+	m.out = append([]byte(nil), s.out...)
+	if m.countRoles {
+		// Continue the role tallies from the snapshot so a checkpointing
+		// profile run and its resumed halves agree. Runs that do not count
+		// roles leave the arrays zero, matching the Result contract.
+		m.readRoles = s.readRoles
+		m.writeRoles = s.writeRoles
+	}
+	m.frames = make([]frame, len(s.frames))
+	for i, fr := range s.frames {
+		fr.regs = append([]uint64(nil), fr.regs...)
+		m.frames[i] = fr
+	}
+	return nil
+}

@@ -8,6 +8,20 @@
 // on: corrupted addresses hit unmapped space (segmentation fault) or lose
 // alignment (misaligned access); corrupted divisors trap (arithmetic);
 // runaway control flow exhausts a dynamic-instruction budget (hang).
+//
+// # Golden-run checkpointing
+//
+// A run with Options.Checkpoint > 0 records an immutable Snapshot of the
+// full machine state (call frames, registers, pc, globals, stack, output,
+// and the dynamic/candidate counters) every Checkpoint dynamic
+// instructions, thinning to Options.MaxSnapshots by interval doubling. A
+// later run with Options.Resume starts from such a snapshot instead of
+// instruction 0. Because the fault-free prefix of every injection run is
+// deterministic and consumes no randomness, resuming from any snapshot
+// taken before the first injection candidate is bit-identical to a full
+// replay: same Result, same trap, same output, same injection sampling.
+// internal/core uses this to fast-forward each campaign experiment past
+// the prefix its golden run already computed.
 package vm
 
 import (
@@ -108,6 +122,22 @@ type Options struct {
 	// dynamic instants (the ECC-escape scenario of the paper's future
 	// work). Entries must be sorted by AtDyn.
 	MemFlips []MemFlip
+	// Checkpoint, when > 0, records a Snapshot of the machine state every
+	// Checkpoint dynamic instructions into Result.Snapshots. Campaigns use
+	// checkpoints taken during the golden run to fast-forward experiments
+	// past the fault-free prefix. Checkpointing a run that injects faults
+	// (Plan or MemFlips set) is rejected: snapshots do not capture
+	// injection state.
+	Checkpoint uint64
+	// MaxSnapshots bounds the snapshots a checkpointing run keeps; when the
+	// cap is hit, every other snapshot is dropped and the interval doubles.
+	// Zero selects DefaultMaxSnapshots; values below 2 are raised to 2.
+	MaxSnapshots int
+	// Resume, when non-nil, starts the run from a restored snapshot instead
+	// of instruction 0. The snapshot must come from the same *ir.Program,
+	// Plan.FirstCand must not precede the snapshot's candidate counter, and
+	// no MemFlip may be due before the snapshot's Dyn.
+	Resume *Snapshot
 }
 
 // MemFlip describes one memory-word corruption: just before the dynamic
@@ -151,6 +181,9 @@ type Result struct {
 	// WriteRoles counts inject-on-write candidates by ir.SlotRole; filled
 	// only when Options.CountRoles is set.
 	WriteRoles [ir.NumSlotRoles]uint64
+	// Snapshots holds the machine-state checkpoints taken during the run;
+	// filled only when Options.Checkpoint > 0.
+	Snapshots []*Snapshot
 }
 
 // frame is one call-stack entry.
@@ -169,6 +202,7 @@ type machine struct {
 	globals   []byte
 	stack     []byte
 	sp        int
+	stackHW   int // high-water mark of sp: bytes above it are still zero
 	frames    []frame
 	out       []byte
 	maxOut    int
@@ -177,6 +211,11 @@ type machine struct {
 	maxDyn    uint64
 	readSlots uint64
 	writes    uint64
+
+	checkpoint uint64
+	nextSnap   uint64
+	maxSnaps   int
+	snaps      []*Snapshot
 
 	noAlign    bool
 	countRoles bool
@@ -232,7 +271,35 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
-	m.pushFrame(mainFn, nil, ir.NoReg, false)
+	m.checkpoint = opts.Checkpoint
+	m.nextSnap = noSnap
+	if m.checkpoint > 0 {
+		// Snapshots deliberately omit injection state (plan progress, memory
+		// flip cursor); checkpointing is a golden-run facility and corrupted
+		// state must not masquerade as a resumable prefix.
+		if m.plan != nil || len(m.memFlips) > 0 {
+			return nil, errCheckpointFault
+		}
+		m.maxSnaps = opts.MaxSnapshots
+		if m.maxSnaps == 0 {
+			m.maxSnaps = DefaultMaxSnapshots
+		}
+		// Thinning keeps floor(n/2) snapshots; a cap below 2 would discard
+		// everything on every round.
+		if m.maxSnaps < 2 {
+			m.maxSnaps = 2
+		}
+	}
+	if opts.Resume != nil {
+		if err := m.restore(opts.Resume); err != nil {
+			return nil, err
+		}
+	} else {
+		m.pushFrame(mainFn, nil, ir.NoReg, false)
+	}
+	if m.checkpoint > 0 {
+		m.nextSnap = m.dyn + m.checkpoint
+	}
 	m.run()
 	return &Result{
 		Stop:          m.stop,
@@ -246,6 +313,7 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 		InjectionDyns: m.injDyns,
 		ReadRoles:     m.readRoles,
 		WriteRoles:    m.writeRoles,
+		Snapshots:     m.snaps,
 	}, nil
 }
 
@@ -253,7 +321,17 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 // capture the golden output, the fault-free dynamic instruction count, the
 // candidate-space sizes and the per-role candidate composition.
 func Profile(p *ir.Program) (*Result, error) {
-	res, err := Run(p, Options{CountRoles: true})
+	return ProfileWith(p, Options{})
+}
+
+// ProfileWith is Profile with explicit options (e.g. Checkpoint, to record
+// golden-run snapshots while profiling). CountRoles is always enabled; a
+// run that does not terminate normally is an error.
+func ProfileWith(p *ir.Program, opts Options) (*Result, error) {
+	opts.CountRoles = true
+	opts.Plan = nil
+	opts.MemFlips = nil
+	res, err := Run(p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -296,6 +374,9 @@ func (m *machine) run() {
 		if m.dyn >= m.maxDyn {
 			m.stop = StopHang
 			return
+		}
+		if m.dyn >= m.nextSnap {
+			m.takeSnapshot()
 		}
 		di := m.dyn
 		m.dyn++
@@ -411,6 +492,9 @@ func (m *machine) run() {
 			}
 			regs[in.Dst] = uint64(ir.StackBase + m.sp)
 			m.sp += int(size)
+			if m.sp > m.stackHW {
+				m.stackHW = m.sp
+			}
 
 		case ir.OpBr:
 			fr.pc = int(in.Off)
