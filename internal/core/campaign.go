@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -110,8 +109,10 @@ func (s *CampaignSpec) validate() error {
 type CampaignResult struct {
 	// Spec echoes the campaign parameters.
 	Spec CampaignSpec
-	// Counts indexes experiment totals by Outcome.
-	Counts [NumOutcomes + 1]int
+	// Tally holds the per-outcome counts and derives the percentage and
+	// confidence-interval statistics (N, Pct, SDCPct, DetectionPct, CI95,
+	// Resilience).
+	Tally
 	// CrashActivated histograms the number of activated errors of
 	// experiments that ended in a hardware exception, capped at
 	// ActivatedCap (Fig 3's distribution).
@@ -124,52 +125,6 @@ type CampaignResult struct {
 	ActivatedTotal int
 	// Experiments holds per-experiment records when Spec.Record is set.
 	Experiments []Experiment
-}
-
-// N returns the number of experiments performed.
-func (r *CampaignResult) N() int {
-	n := 0
-	for _, c := range r.Counts {
-		n += c
-	}
-	return n
-}
-
-// Count returns the number of experiments in category o.
-func (r *CampaignResult) Count(o Outcome) int { return r.Counts[o] }
-
-// Pct returns the percentage of experiments in category o.
-func (r *CampaignResult) Pct(o Outcome) float64 {
-	n := r.N()
-	if n == 0 {
-		return 0
-	}
-	return 100 * float64(r.Counts[o]) / float64(n)
-}
-
-// SDCPct returns the silent-data-corruption percentage.
-func (r *CampaignResult) SDCPct() float64 { return r.Pct(OutcomeSDC) }
-
-// DetectionPct returns the paper's aggregate Detection percentage
-// (HWException + Hang + NoOutput).
-func (r *CampaignResult) DetectionPct() float64 {
-	return r.Pct(OutcomeException) + r.Pct(OutcomeHang) + r.Pct(OutcomeNoOutput)
-}
-
-// Resilience returns the error-resilience estimate: the probability that
-// an activated error does not produce an SDC (§II-B).
-func (r *CampaignResult) Resilience() float64 { return 1 - r.SDCPct()/100 }
-
-// CI95 returns the half-width of the 95% confidence interval, in
-// percentage points, of category o's percentage (normal approximation of
-// the binomial, as the paper's error bars).
-func (r *CampaignResult) CI95(o Outcome) float64 {
-	n := r.N()
-	if n == 0 {
-		return 0
-	}
-	p := float64(r.Counts[o]) / float64(n)
-	return 100 * 1.96 * math.Sqrt(p*(1-p)/float64(n))
 }
 
 // RunCampaign executes the campaign. Experiments run in parallel but the
@@ -232,7 +187,7 @@ func RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
 	res := &CampaignResult{Spec: spec}
 	for i := range exps {
 		e := &exps[i]
-		res.Counts[e.Outcome]++
+		res.Add(e.Outcome)
 		res.ActivatedTotal += e.Activated
 		if e.Outcome == OutcomeException {
 			a := e.Activated

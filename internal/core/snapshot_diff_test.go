@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"multiflip/internal/core"
+	"multiflip/internal/ir"
 	"multiflip/internal/prog"
 )
 
@@ -176,5 +177,75 @@ func TestPinnedCampaignSnapshotDifferential(t *testing.T) {
 	}
 	if !reflect.DeepEqual(fast.Experiments, slow.Experiments) {
 		t.Error("pinned experiments diverge between snapshot and full-replay campaigns")
+	}
+}
+
+// buildWideGlobalProg returns a synthetic workload whose global segment
+// (64 KiB) far exceeds the VM's eager-restore bound, forcing campaigns
+// through the lazy copy-on-write resume path: experiments mount snapshot
+// pages in place and copy only the pages they write.
+func buildWideGlobalProg(t *testing.T) *ir.Program {
+	t.Helper()
+	const words = 1 << 13
+	mb := ir.NewModule("wide-globals")
+	base := mb.GlobalZero(8 * words)
+	f := mb.Func("main", 0)
+	acc := f.Let(ir.C(0))
+	f.For(ir.C(0), ir.C(3000), func(i ir.Reg) {
+		w := f.BinW(ir.W64, ir.OpAnd, f.BinW(ir.W64, ir.OpMul, i, ir.C(2654435761)), ir.C(words-1))
+		addr := f.BinW(ir.W64, ir.OpAdd, ir.C(base), f.BinW(ir.W64, ir.OpMul, w, ir.C(8)))
+		f.Store64(addr, f.BinW(ir.W64, ir.OpAdd, i, ir.C(0x1234)), 0)
+		f.Mov(acc, f.BinW(ir.W64, ir.OpXor, acc, f.Load64(addr, 0)))
+	})
+	f.Out64(acc)
+	f.RetVoid()
+	p, err := mb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCampaignSnapshotDifferentialLargeGlobals extends the differential
+// invariant to the page-granular copy-on-write representation at scale: a
+// 64 KiB-global workload, prepared at two checkpoint densities, must
+// produce experiment records bit-identical to full replay for both
+// techniques.
+func TestCampaignSnapshotDifferentialLargeGlobals(t *testing.T) {
+	p := buildWideGlobalProg(t)
+	for _, topts := range []core.TargetOptions{
+		{},                                      // default (dense) interval
+		{SnapshotInterval: 32},                  // denser: longer sharing chains
+		{SnapshotInterval: 17, MaxSnapshots: 8}, // heavy thinning
+	} {
+		target, err := core.NewTargetOpts("wide-globals", p, topts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tech := range core.Techniques() {
+			for _, cfg := range []core.Config{core.SingleBit(), {MaxMBF: 3, Win: core.Win(10)}} {
+				spec := core.CampaignSpec{
+					Target:    target,
+					Technique: tech,
+					Config:    cfg,
+					N:         30,
+					Seed:      99,
+					Record:    true,
+				}
+				fast, err := core.RunCampaign(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				spec.NoSnapshots = true
+				slow, err := core.RunCampaign(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(fast.Experiments, slow.Experiments) {
+					t.Errorf("interval=%d %s %s: experiments diverge between CoW-snapshot and full-replay campaigns",
+						topts.SnapshotInterval, tech, cfg)
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,49 @@
+package core
+
+import "multiflip/internal/stats"
+
+// Tally accumulates per-outcome experiment counts and derives the
+// percentage and confidence-interval statistics every campaign type
+// reports. Register campaigns (CampaignResult) and memory-fault campaigns
+// (memfault.Result) embed it so the §III-E outcome math lives in one
+// place.
+type Tally struct {
+	// Counts indexes experiment totals by Outcome.
+	Counts [NumOutcomes + 1]int
+}
+
+// Add records one experiment outcome.
+func (t *Tally) Add(o Outcome) { t.Counts[o]++ }
+
+// N returns the number of experiments tallied.
+func (t *Tally) N() int {
+	n := 0
+	for _, c := range t.Counts {
+		n += c
+	}
+	return n
+}
+
+// Count returns the number of experiments in category o.
+func (t *Tally) Count(o Outcome) int { return t.Counts[o] }
+
+// Pct returns the percentage of experiments in category o.
+func (t *Tally) Pct(o Outcome) float64 { return stats.Percent(t.Counts[o], t.N()) }
+
+// SDCPct returns the silent-data-corruption percentage.
+func (t *Tally) SDCPct() float64 { return t.Pct(OutcomeSDC) }
+
+// DetectionPct returns the paper's aggregate Detection percentage
+// (HWException + Hang + NoOutput).
+func (t *Tally) DetectionPct() float64 {
+	return t.Pct(OutcomeException) + t.Pct(OutcomeHang) + t.Pct(OutcomeNoOutput)
+}
+
+// Resilience returns the error-resilience estimate: the probability that
+// an activated error does not produce an SDC (§II-B).
+func (t *Tally) Resilience() float64 { return 1 - t.SDCPct()/100 }
+
+// CI95 returns the half-width of the 95% confidence interval, in
+// percentage points, of category o's percentage (normal approximation of
+// the binomial, as the paper's error bars).
+func (t *Tally) CI95(o Outcome) float64 { return stats.NormalCI95(t.Counts[o], t.N()) }

@@ -41,10 +41,18 @@ type Target struct {
 }
 
 // DefaultSnapshotInterval is the golden-run checkpoint spacing in dynamic
-// instructions. The workloads run on the order of 10^4 fault-free
-// instructions, so this yields a few dozen snapshots per target; longer
-// runs are thinned by the VM toward vm.DefaultMaxSnapshots.
-const DefaultSnapshotInterval = 256
+// instructions. Snapshot capture is copy-on-write at page granularity —
+// cost and memory scale with the pages dirtied per interval, not with
+// run length or segment size — so targets can afford checkpoints every
+// few dozen instructions, shrinking the prefix tail each fast-forwarded
+// experiment still replays.
+const DefaultSnapshotInterval = 64
+
+// DefaultTargetMaxSnapshots bounds the snapshots a target stores. It is
+// deliberately higher than vm.DefaultMaxSnapshots: a target's store is
+// shared by all of its campaigns, and shared clean pages keep the
+// per-snapshot footprint small.
+const DefaultTargetMaxSnapshots = 512
 
 // TargetOptions tunes target preparation.
 type TargetOptions struct {
@@ -73,6 +81,9 @@ func NewTargetOpts(name string, p *ir.Program, opts TargetOptions) (*Target, err
 			vopts.Checkpoint = DefaultSnapshotInterval
 		}
 		vopts.MaxSnapshots = opts.MaxSnapshots
+		if vopts.MaxSnapshots == 0 {
+			vopts.MaxSnapshots = DefaultTargetMaxSnapshots
+		}
 	}
 	prof, err := vm.ProfileWith(p, vopts)
 	if err != nil {
@@ -104,6 +115,22 @@ func (t *Target) SnapshotBefore(tech Technique, cand uint64) *vm.Snapshot {
 	// Candidates too; find the first snapshot past cand.
 	i := sort.Search(len(t.Snapshots), func(i int) bool {
 		return t.Snapshots[i].Candidates(onWrite) > cand
+	})
+	if i == 0 {
+		return nil
+	}
+	return t.Snapshots[i-1]
+}
+
+// SnapshotBeforeDyn returns the latest golden-run snapshot taken at or
+// before dynamic instruction dyn — the furthest checkpoint from which a
+// run whose first fault lands at instant dyn can legally resume — or nil
+// when no snapshot precedes it. Memory-fault campaigns use it to
+// fast-forward: their corruptions are scheduled by dynamic instant rather
+// than by candidate index.
+func (t *Target) SnapshotBeforeDyn(dyn uint64) *vm.Snapshot {
+	i := sort.Search(len(t.Snapshots), func(i int) bool {
+		return t.Snapshots[i].Dyn > dyn
 	})
 	if i == 0 {
 		return nil

@@ -274,6 +274,10 @@ type Instr struct {
 	C    Operand
 	Off  int64
 	Args []Operand
+	// NR caches NumRegReads(): the instruction's register-read operand
+	// slot count, which the VM consumes on every dynamic execution.
+	// Populated by Program.Validate (and therefore by Build).
+	NR uint8
 }
 
 // HasDst reports whether the instruction writes a destination register,
@@ -394,7 +398,10 @@ func (p *Program) StaticInstrs() int {
 // Validate checks structural invariants: branch targets in range, register
 // ids within the frame, calls referencing existing functions with matching
 // arity, widths present where required, and a terminated instruction
-// stream. Programs produced by the builder are validated at Build time.
+// stream. It also populates the per-instruction caches the VM relies on
+// (Instr.NR), so a hand-assembled Program must pass through Validate
+// before it is run. Programs produced by the builder are validated at
+// Build time.
 func (p *Program) Validate() error {
 	if p.Main < 0 || p.Main >= len(p.Funcs) {
 		return fmt.Errorf("ir: main index %d out of range (%d funcs)", p.Main, len(p.Funcs))
@@ -422,6 +429,13 @@ func (p *Program) validateFunc(f *Func) error {
 	}
 	for pc := range f.Code {
 		in := &f.Code[pc]
+		nr := in.NumRegReads()
+		if nr > 255 {
+			// NR is a uint8 cache; a wider count would silently truncate
+			// the VM's candidate accounting.
+			return fmt.Errorf("pc %d: %d register-read operands exceed the limit of 255", pc, nr)
+		}
+		in.NR = uint8(nr)
 		if in.Dst != NoReg && int(in.Dst) >= f.NumRegs {
 			return fmt.Errorf("pc %d: dst r%d out of range (%d regs)", pc, in.Dst, f.NumRegs)
 		}

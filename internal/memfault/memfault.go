@@ -15,7 +15,6 @@ package memfault
 
 import (
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -41,6 +40,13 @@ type Spec struct {
 	HangFactor uint64
 	// Workers bounds parallelism (0 = GOMAXPROCS).
 	Workers int
+	// NoSnapshots forces every experiment to replay the fault-free prefix
+	// from instruction 0 instead of fast-forwarding from the latest
+	// golden-run snapshot at or before the corruption instant. Results are
+	// bit-identical either way (the differential tests enforce it).
+	NoSnapshots bool
+	// Record keeps per-experiment outcomes in the result.
+	Record bool
 }
 
 func (s *Spec) validate() error {
@@ -63,40 +69,12 @@ func (s *Spec) validate() error {
 type Result struct {
 	// Spec echoes the campaign parameters.
 	Spec Spec
-	// Counts indexes experiment totals by core.Outcome.
-	Counts [core.NumOutcomes + 1]int
-}
-
-// N returns the number of experiments performed.
-func (r *Result) N() int {
-	n := 0
-	for _, c := range r.Counts {
-		n += c
-	}
-	return n
-}
-
-// Pct returns the percentage of experiments in category o.
-func (r *Result) Pct(o core.Outcome) float64 {
-	n := r.N()
-	if n == 0 {
-		return 0
-	}
-	return 100 * float64(r.Counts[o]) / float64(n)
-}
-
-// SDCPct returns the silent-data-corruption percentage.
-func (r *Result) SDCPct() float64 { return r.Pct(core.OutcomeSDC) }
-
-// CI95 returns the 95% confidence half-width of category o in percentage
-// points (normal approximation).
-func (r *Result) CI95(o core.Outcome) float64 {
-	n := r.N()
-	if n == 0 {
-		return 0
-	}
-	p := float64(r.Counts[o]) / float64(n)
-	return 100 * 1.96 * math.Sqrt(p*(1-p)/float64(n))
+	// Tally holds the per-outcome counts and derives the percentage and
+	// confidence-interval statistics (N, Pct, SDCPct, DetectionPct, CI95),
+	// shared with the register campaigns in internal/core.
+	core.Tally
+	// Outcomes holds per-experiment outcomes when Spec.Record is set.
+	Outcomes []core.Outcome
 }
 
 // Run executes the campaign. Like register campaigns, results are
@@ -141,10 +119,20 @@ func Run(spec Spec) (*Result, error) {
 					Word:  rng.Uint64n(words) * 8,
 					Mask:  rng.DistinctBits(spec.Bits, 64),
 				}
+				// Fast-forward past the fault-free prefix: the corruption
+				// instant is known up front, so resume from the latest
+				// golden-run snapshot at or before it. The prefix is
+				// deterministic and consumes no randomness, so the outcome
+				// is bit-identical to a full replay.
+				var resume *vm.Snapshot
+				if !spec.NoSnapshots {
+					resume = t.SnapshotBeforeDyn(flip.AtDyn)
+				}
 				res, err := vm.Run(t.Prog, vm.Options{
 					MaxDyn:    hangFactor*t.GoldenDyn + 1000,
 					MaxOutput: 4*len(t.Golden) + 4096,
 					MemFlips:  []vm.MemFlip{flip},
+					Resume:    resume,
 				})
 				if err != nil {
 					firstMu.Lock()
@@ -164,7 +152,10 @@ func Run(spec Spec) (*Result, error) {
 	}
 	r := &Result{Spec: spec}
 	for _, o := range outcomes {
-		r.Counts[o]++
+		r.Add(o)
+	}
+	if spec.Record {
+		r.Outcomes = outcomes
 	}
 	return r, nil
 }

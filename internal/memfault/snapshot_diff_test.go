@@ -1,0 +1,105 @@
+package memfault_test
+
+import (
+	"reflect"
+	"testing"
+
+	"multiflip/internal/core"
+	"multiflip/internal/memfault"
+	"multiflip/internal/prog"
+)
+
+// diffBits spans the ECC regimes: correctable (1), detectable (2), and
+// ECC-escaping (3, 5) per-word flip counts.
+var diffBits = []int{1, 2, 3, 5}
+
+// TestMemFaultSnapshotDifferential mirrors core's snapshot_diff_test for
+// memory-fault campaigns: for several workloads (including histo, whose
+// global segment exceeds the VM's eager-restore bound and so takes the
+// lazy copy-on-write resume path) and every ECC regime, a campaign
+// fast-forwarded by corruption instant must produce per-experiment
+// outcomes bit-identical to a full-replay campaign.
+func TestMemFaultSnapshotDifferential(t *testing.T) {
+	const (
+		n    = 120
+		seed = 4242
+	)
+	for _, name := range []string{"CRC32", "histo", "sha", "qsort"} {
+		tg := target(t, name)
+		if len(tg.Snapshots) == 0 {
+			t.Fatalf("%s: target has no golden-run snapshots", name)
+		}
+		for _, bits := range diffBits {
+			spec := memfault.Spec{
+				Target: tg,
+				Bits:   bits,
+				N:      n,
+				Seed:   seed,
+				Record: true,
+			}
+			fast, err := memfault.Run(spec)
+			if err != nil {
+				t.Fatalf("%s bits=%d: %v", name, bits, err)
+			}
+			spec.NoSnapshots = true
+			slow, err := memfault.Run(spec)
+			if err != nil {
+				t.Fatalf("%s bits=%d (no snapshots): %v", name, bits, err)
+			}
+			if !reflect.DeepEqual(fast.Outcomes, slow.Outcomes) {
+				t.Errorf("%s bits=%d: outcomes diverge between snapshot and full-replay campaigns",
+					name, bits)
+				continue
+			}
+			if fast.Counts != slow.Counts {
+				t.Errorf("%s bits=%d: aggregates diverge between snapshot and full-replay campaigns",
+					name, bits)
+			}
+		}
+	}
+}
+
+// TestMemFaultSnapshotIntervalInvariance checks that memory-fault results
+// do not depend on where checkpoints happen to fall: targets prepared
+// with very different snapshot intervals (and the snapshot-free target)
+// all yield the same outcomes.
+func TestMemFaultSnapshotIntervalInvariance(t *testing.T) {
+	const (
+		n    = 150
+		seed = 7
+	)
+	b, err := prog.ByName("CRC32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []core.TargetOptions{
+		{NoSnapshots: true},
+		{SnapshotInterval: 13, MaxSnapshots: 4}, // tiny interval, heavy thinning
+		{SnapshotInterval: 800},
+		{SnapshotInterval: 1 << 30}, // beyond the golden run: no snapshots land
+	}
+	var baseline *memfault.Result
+	for i, topts := range variants {
+		tg, err := core.NewTargetOpts("CRC32", p, topts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := memfault.Run(memfault.Spec{
+			Target: tg, Bits: 3, N: n, Seed: seed, Record: true,
+		})
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if i == 0 {
+			baseline = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Outcomes, baseline.Outcomes) {
+			t.Errorf("variant %d: outcomes differ from full-replay baseline", i)
+		}
+	}
+}

@@ -34,10 +34,9 @@ func SweepTable(target *core.Target, bitsList []int, n int, seed uint64) (*repor
 		case 2:
 			ecc = "detected"
 		}
-		detection := res.Pct(core.OutcomeException) + res.Pct(core.OutcomeHang) + res.Pct(core.OutcomeNoOutput)
 		t.AddRow(fmt.Sprintf("%d", bits), ecc,
 			stats.FormatPct(res.Pct(core.OutcomeBenign)),
-			stats.FormatPct(detection),
+			stats.FormatPct(res.DetectionPct()),
 			stats.FormatPct(res.SDCPct()))
 	}
 	t.Notes = append(t.Notes,

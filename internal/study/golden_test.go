@@ -1,0 +1,95 @@
+package study_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multiflip/internal/core"
+)
+
+// Golden-output tests for the study package's two largest render surfaces:
+// figures.go (every table and figure) and answers.go (the derived
+// research-question answers). The study is fully deterministic given
+// (seed, N, grid) — campaign results are independent of worker count and
+// snapshot configuration, which the differential tests enforce — so the
+// rendered text is pinned byte for byte. Regenerate with:
+//
+//	go test ./internal/study -run TestGolden -update
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (regenerate with -update): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("%s: output diverged from golden file (regenerate with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestGoldenFigures pins the rendered output of every figure and table in
+// figures.go over the deterministic tiny study.
+func TestGoldenFigures(t *testing.T) {
+	s := tiny(t)
+	for _, tech := range core.Techniques() {
+		suffix := "read"
+		if tech == core.InjectOnWrite {
+			suffix = "write"
+		}
+		checkGolden(t, "figure1-"+suffix, s.Figure1(tech).String())
+		checkGolden(t, "figure2-"+suffix, s.Figure2(tech).String())
+		checkGolden(t, "figure3-"+suffix, s.Figure3(tech).String())
+		checkGolden(t, "figure45-"+suffix, s.Figure45(tech).String())
+		checkGolden(t, "candidate-composition-"+suffix, s.CandidateComposition(tech).String())
+		checkGolden(t, "exception-breakdown-"+suffix, s.ExceptionBreakdown(tech).String())
+	}
+	checkGolden(t, "table2", s.TableII().String())
+	t3, err := s.TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table3", t3.String())
+	checkGolden(t, "pruning-dividend", s.PruningDividend().String())
+}
+
+// TestGoldenAnswers pins the rendered research-question answers, both
+// without transitions (RQ1-RQ4) and with the §IV-C3 transition study
+// (adding RQ5).
+func TestGoldenAnswers(t *testing.T) {
+	s := tiny(t)
+	checkGolden(t, "answers", s.Answers(nil).String())
+	trans, err := s.RunTransitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "answers-transitions", s.Answers(trans).String())
+
+	// Sanity guards independent of the pinned bytes, so a stale golden
+	// cannot hide a structurally broken answer sheet.
+	out := s.Answers(trans).String()
+	for _, rq := range []string{"RQ1", "RQ2", "RQ3", "RQ4", "RQ5"} {
+		if n := strings.Count(out, rq); n != 2 { // one row per technique
+			t.Errorf("answers contain %d %s rows, want 2", n, rq)
+		}
+	}
+	if !strings.Contains(out, fmt.Sprintf("max-MBF=%d", 30)) {
+		t.Error("RQ1 does not reference the grid's largest max-MBF")
+	}
+}

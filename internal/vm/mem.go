@@ -1,0 +1,271 @@
+package vm
+
+import "encoding/binary"
+
+// Page granularity of the copy-on-write machinery. 256 bytes keeps the
+// page tables small for the suite's kilobyte-scale segments while still
+// making a dirtied page cheap to copy at snapshot time.
+const (
+	pageShift = 8
+	pageSize  = 1 << pageShift
+)
+
+// pageOf returns the page index covering byte offset off.
+func pageOf(off int) int { return off >> pageShift }
+
+// numPages returns the number of pages covering n bytes.
+func numPages(n int) int { return (n + pageSize - 1) >> pageShift }
+
+// bitmap is a fixed-capacity bitset over page indices.
+type bitmap []uint64
+
+func newBitmap(pages int) bitmap { return make(bitmap, (pages+63)/64) }
+
+func (b bitmap) get(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+func (b bitmap) set(i int)      { b[i>>6] |= 1 << uint(i&63) }
+
+// mem is one byte segment of the machine (globals or stack) with
+// page-granular copy-on-write against an immutable backing.
+//
+// Two regimes exist:
+//
+//   - back == nil (and res == nil): flat is authoritative. Fresh runs use
+//     this for both segments, and restore uses it for segments small
+//     enough that an eager copy beats per-access bookkeeping.
+//   - back != nil: the segment was restored from a snapshot's page table.
+//     A page is served from flat iff its res bit is set; otherwise from
+//     back (a nil backing page reads as zeroes). Loads read the backing
+//     in place; the first store to a page installs it — copies it into
+//     flat and sets its res bit — so resume cost scales with the pages a
+//     run actually writes, not with segment size.
+//
+// dirty, when non-nil, records the pages stored to since the last
+// snapshot capture; only checkpointing runs pay for it.
+type mem struct {
+	n     int    // segment length in bytes
+	flat  []byte // private storage; grows toward n as pages are written
+	back  [][]byte
+	res   bitmap
+	dirty bitmap
+}
+
+// flatMem returns a segment fully materialized in flat.
+func flatMem(n int, flat []byte) mem { return mem{n: n, flat: flat} }
+
+// cowMem returns a segment lazily backed by a snapshot page table. Pages
+// beyond the table (possible for the stack, whose table only covers the
+// captured high-water mark) read as zeroes.
+func cowMem(n int, back [][]byte) mem {
+	return mem{n: n, back: back, res: newBitmap(numPages(n))}
+}
+
+// track enables dirty-page tracking (checkpointing runs only).
+func (s *mem) track() { s.dirty = newBitmap(numPages(s.n)) }
+
+// backPage returns the backing page p, or nil (all zeroes) when the
+// table does not cover it.
+func (s *mem) backPage(p int) []byte {
+	if p < len(s.back) {
+		return s.back[p]
+	}
+	return nil
+}
+
+// growFlat extends flat to at least end bytes (clamped to the segment
+// length), preserving contents and zero-filling the extension. Spare
+// capacity — machines are pooled across runs — is reused but must be
+// re-zeroed: it holds a previous run's bytes.
+func (s *mem) growFlat(end int) {
+	if end <= len(s.flat) {
+		return
+	}
+	c := 2 * len(s.flat)
+	if c < end {
+		c = end
+	}
+	if c < 4*pageSize {
+		c = 4 * pageSize
+	}
+	if c > s.n {
+		c = s.n
+	}
+	if c <= cap(s.flat) {
+		old := len(s.flat)
+		s.flat = s.flat[:c]
+		clear(s.flat[old:])
+		return
+	}
+	nf := make([]byte, c)
+	copy(nf, s.flat)
+	s.flat = nf
+}
+
+// install copies backing page p into flat and marks it resident.
+func (s *mem) install(p int) {
+	lo := p << pageShift
+	hi := lo + pageSize
+	if hi > s.n {
+		hi = s.n
+	}
+	s.growFlat(hi)
+	if b := s.backPage(p); b != nil {
+		copy(s.flat[lo:hi], b)
+	}
+	s.res.set(p)
+}
+
+// load reads size bytes little-endian at off. The caller has bounds- and
+// alignment-checked [off, off+size).
+func (s *mem) load(off, size int) uint64 {
+	if s.res != nil {
+		p := pageOf(off)
+		if !s.res.get(p) || pageOf(off+size-1) != p {
+			return s.loadSlow(off, size)
+		}
+	}
+	b := s.flat[off:]
+	switch size {
+	case 8:
+		return binary.LittleEndian.Uint64(b)
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	default:
+		return uint64(b[0])
+	}
+}
+
+// loadSlow reads bytewise through the page table: the access touches a
+// non-resident page, or spans two pages in mixed residency states.
+func (s *mem) loadSlow(off, size int) uint64 {
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(s.byteAt(off+i))
+	}
+	return v
+}
+
+// byteAt reads one byte through the residency map.
+func (s *mem) byteAt(off int) byte {
+	p := pageOf(off)
+	if s.res.get(p) {
+		return s.flat[off]
+	}
+	if b := s.backPage(p); b != nil {
+		if i := off & (pageSize - 1); i < len(b) {
+			return b[i]
+		}
+	}
+	return 0
+}
+
+// store writes size bytes little-endian at off, installing and dirtying
+// the pages it touches. The caller has bounds- and alignment-checked the
+// range; without backing, flat already covers it.
+func (s *mem) store(off, size int, v uint64) {
+	p0 := pageOf(off)
+	p1 := pageOf(off + size - 1)
+	if s.res != nil {
+		if !s.res.get(p0) {
+			s.install(p0)
+		}
+		if p1 != p0 && !s.res.get(p1) {
+			s.install(p1)
+		}
+	}
+	if s.dirty != nil {
+		s.dirty.set(p0)
+		if p1 != p0 {
+			s.dirty.set(p1)
+		}
+	}
+	b := s.flat[off:]
+	switch size {
+	case 8:
+		binary.LittleEndian.PutUint64(b, v)
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	default:
+		b[0] = byte(v)
+	}
+}
+
+// pageDelta records the pages of one segment dirtied during a snapshot
+// interval: ascending page indices and private copies of their contents.
+// Clean pages are represented implicitly by the snapshot's base chain, so
+// capture cost is proportional to the write set, not the segment size.
+type pageDelta struct {
+	idx   []int32
+	pages [][]byte
+}
+
+// captureDelta copies the pages of [0, upTo) dirtied since the previous
+// capture and clears the dirty map. Iteration walks the dirty bitmap
+// wordwise, so the scan is O(pages/64) and the copying O(dirtied pages).
+func (s *mem) captureDelta(upTo int) pageDelta {
+	np := numPages(upTo)
+	var d pageDelta
+	for w := 0; w<<6 < np; w++ {
+		bitsLeft := s.dirty[w]
+		for bitsLeft != 0 {
+			p := w<<6 + trailingZeros(bitsLeft)
+			bitsLeft &= bitsLeft - 1
+			if p >= np {
+				break
+			}
+			lo := p << pageShift
+			hi := lo + pageSize
+			if hi > upTo {
+				hi = upTo
+			}
+			d.idx = append(d.idx, int32(p))
+			d.pages = append(d.pages, append([]byte(nil), s.flat[lo:hi]...))
+		}
+		s.dirty[w] = 0
+	}
+	return d
+}
+
+// pageTable slices an immutable flat image into a page table without
+// copying. Used to seed capture sharing for fresh runs (the program's
+// global image) and to publish eager restores.
+func pageTable(img []byte) [][]byte {
+	pages := make([][]byte, numPages(len(img)))
+	for p := range pages {
+		lo := p << pageShift
+		hi := lo + pageSize
+		if hi > len(img) {
+			hi = len(img)
+		}
+		pages[p] = img[lo:hi:hi]
+	}
+	return pages
+}
+
+// flattenInto materializes a page table into buf (grown if needed),
+// returning the n-byte flat image. Reused buffers hold a previous run's
+// bytes, so gaps the pages do not cover are explicitly zeroed.
+func flattenInto(buf []byte, pages [][]byte, n int) []byte {
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	for p := 0; p<<pageShift < n; p++ {
+		lo := p << pageShift
+		hi := lo + pageSize
+		if hi > n {
+			hi = n
+		}
+		var b []byte
+		if p < len(pages) {
+			b = pages[p]
+		}
+		k := copy(buf[lo:hi], b)
+		clear(buf[lo+k : hi])
+	}
+	return buf
+}

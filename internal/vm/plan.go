@@ -132,7 +132,7 @@ func (m *machine) applyFirst(di uint64, regs []uint64, reg ir.Reg, wbits int) {
 		for i := 0; i < n; i++ {
 			m.injDyns = append(m.injDyns, di)
 		}
-		m.planDone = true
+		m.endPlan()
 		return
 	}
 	bit := p.PinnedBit
@@ -146,7 +146,7 @@ func (m *machine) applyFirst(di uint64, regs []uint64, reg ir.Reg, wbits int) {
 	m.injected++
 	m.injDyns = append(m.injDyns, di)
 	if m.injected >= p.MaxFlips {
-		m.planDone = true
+		m.endPlan()
 		return
 	}
 	m.nextDyn = di + p.NextWindow(p.Rng)
@@ -159,7 +159,7 @@ func (m *machine) applyFollow(di uint64, regs []uint64, reg ir.Reg, wbits int) {
 	m.injected++
 	m.injDyns = append(m.injDyns, di)
 	if m.injected >= p.MaxFlips {
-		m.planDone = true
+		m.endPlan()
 		return
 	}
 	m.nextDyn = di + p.NextWindow(p.Rng)

@@ -2,16 +2,25 @@ package vm
 
 import (
 	"errors"
+	"sync"
 
 	"multiflip/internal/ir"
 )
 
 // Snapshot captures the complete machine state at a dynamic-instruction
 // boundary: after the first Dyn instructions have fully executed and before
-// instruction Dyn begins. A snapshot is immutable once taken — capture and
-// restore both deep-copy every mutable segment (frames, register files,
-// globals, stack, output) — so one stored snapshot can seed any number of
-// concurrent resumed runs.
+// instruction Dyn begins. A snapshot is immutable once taken, so one stored
+// snapshot can seed any number of concurrent resumed runs.
+//
+// Memory is captured as page-granular deltas: each snapshot records only
+// the pages dirtied since its base (the previous snapshot of the same run,
+// or the run's resume point), so capture cost scales with the interval's
+// write set, not with segment size. The full page tables a resume needs
+// are materialized lazily — once per snapshot, memoized, walking the base
+// chain — and every clean page in them is shared with the predecessor
+// (ultimately with the immutable program image). Resume in turn installs
+// shared pages lazily: the resumed machine reads them in place and copies
+// a page into private storage only when it first writes it.
 //
 // Snapshots are the mechanism behind golden-run fast-forwarding: the
 // campaign runner records them during the fault-free profile run and starts
@@ -28,12 +37,30 @@ type Snapshot struct {
 	// the inject-on-write candidate counter at the snapshot point.
 	Writes uint64
 
-	prog       *ir.Program
-	frames     []frame
-	globals    []byte
-	stack      []byte // live prefix [0, stackHW); nil when never materialized
-	sp         int
-	stackHW    int
+	prog *ir.Program
+	// frames' register files are subslices of regSlab, mirroring the
+	// machine's arena layout so restore is one copy plus rebasing.
+	frames  []frame
+	regSlab []uint64
+
+	// base is the snapshot this one's deltas patch: the run's previous
+	// capture, or its resume point. nil means the baseline is the program
+	// image (globals) and an all-zero stack.
+	base        *Snapshot
+	imgPages    [][]byte // program-image page table, the base==nil baseline
+	globalDelta pageDelta
+	stackDelta  pageDelta
+	globalLen   int
+	sp          int
+	stackHW     int
+
+	// Materialized full page tables (tables()); globalTbl covers the whole
+	// global segment, stackTbl the live prefix [0, stackHW). A nil page is
+	// all zeroes.
+	tblOnce   sync.Once
+	globalTbl [][]byte
+	stackTbl  [][]byte
+
 	out        []byte
 	readRoles  [ir.NumSlotRoles]uint64
 	writeRoles [ir.NumSlotRoles]uint64
@@ -49,6 +76,44 @@ func (s *Snapshot) Candidates(onWrite bool) uint64 {
 	return s.ReadSlots
 }
 
+// patchPages materializes a full np-entry page table from a base table
+// and a delta: clean pages share the base entry (nil — all-zero — beyond
+// it), dirtied pages take the delta's copies.
+func patchPages(base [][]byte, d pageDelta, np int) [][]byte {
+	t := make([][]byte, np)
+	copy(t, base)
+	for k, i := range d.idx {
+		t[i] = d.pages[k]
+	}
+	return t
+}
+
+// tables returns the snapshot's materialized page tables, building them
+// on first use by patching the base chain's tables with this snapshot's
+// deltas. Memoized: the cost is paid once per snapshot no matter how many
+// runs resume from it, and never for snapshots no run resumes from.
+func (s *Snapshot) tables() (globalTbl, stackTbl [][]byte) {
+	s.tblOnce.Do(func() {
+		gt := s.imgPages
+		var st [][]byte
+		if s.base != nil {
+			gt, st = s.base.tables()
+		}
+		s.globalTbl = patchPages(gt, s.globalDelta, numPages(s.globalLen))
+		s.stackTbl = patchPages(st, s.stackDelta, numPages(s.stackHW))
+	})
+	return s.globalTbl, s.stackTbl
+}
+
+// selfContain materializes the snapshot's tables and drops its base
+// reference, so thinned-away predecessors (and their frame slabs) can be
+// collected. Only safe while the owning run still has exclusive access.
+func (s *Snapshot) selfContain() {
+	s.tables()
+	s.base = nil
+	s.imgPages = nil
+}
+
 // DefaultMaxSnapshots bounds the snapshots a checkpointing run keeps when
 // Options.MaxSnapshots is zero. When the cap is reached the run drops every
 // other snapshot and doubles its interval, so any run length yields between
@@ -58,42 +123,67 @@ const DefaultMaxSnapshots = 128
 // noSnap disables checkpointing in the interpreter loop.
 const noSnap = ^uint64(0)
 
+// eagerRestoreBytes is the segment size up to which restore materializes
+// a flat private copy instead of installing pages lazily: for kilobyte
+// segments one memcpy is cheaper than per-access residency checks, while
+// large segments profit from paying only for the pages they write.
+const eagerRestoreBytes = 4096
+
 // takeSnapshot records the current machine state. Called at the top of the
 // interpreter loop, so m.dyn instructions have fully executed and every
 // counter is at an instruction boundary.
 func (m *machine) takeSnapshot() {
 	s := &Snapshot{
-		Dyn:        m.dyn,
-		ReadSlots:  m.readSlots,
-		Writes:     m.writes,
-		prog:       m.prog,
-		frames:     make([]frame, len(m.frames)),
-		globals:    append([]byte(nil), m.globals...),
-		sp:         m.sp,
-		stackHW:    m.stackHW,
-		out:        append([]byte(nil), m.out...),
+		Dyn:       m.dyn,
+		ReadSlots: m.readSlots,
+		Writes:    m.writes,
+		prog:      m.prog,
+		// Only the pages dirtied since the previous capture are copied;
+		// everything else is represented by the base chain.
+		base:        m.lastSnap,
+		globalDelta: m.globals.captureDelta(m.globals.n),
+		globalLen:   m.globals.n,
+		sp:          m.sp,
+		stackHW:     m.stackHW,
+		// The output buffer is append-only; a capacity-clamped view of the
+		// current prefix is immutable without copying.
+		out:        m.out[:len(m.out):len(m.out)],
 		readRoles:  m.readRoles,
 		writeRoles: m.writeRoles,
 	}
-	if m.stack != nil {
-		// Only [0, stackHW) has ever been written; bytes above are still
-		// zero and need not be stored.
-		s.stack = append([]byte(nil), m.stack[:m.stackHW]...)
+	if s.base == nil {
+		s.imgPages = m.imgPages
 	}
-	for i, fr := range m.frames {
-		fr.regs = append([]uint64(nil), fr.regs...)
-		s.frames[i] = fr
+	if m.stackHW > 0 {
+		s.stackDelta = m.stack.captureDelta(m.stackHW)
 	}
+	m.lastSnap = s
+
+	// The arena is exactly the concatenation of the live frames' register
+	// files: snapshot it as one slab and rebase the frame slices into it.
+	s.regSlab = append([]uint64(nil), m.regArena[:m.regTop]...)
+	s.frames = append([]frame(nil), m.frames...)
+	for i := range s.frames {
+		fr := &s.frames[i]
+		hi := fr.regBase + len(fr.regs)
+		fr.regs = s.regSlab[fr.regBase:hi:hi]
+	}
+
 	m.snaps = append(m.snaps, s)
 	if len(m.snaps) >= m.maxSnaps {
 		// Thin to every other snapshot and double the interval; long runs
-		// keep bounded memory at proportionally coarser granularity.
+		// keep bounded memory at proportionally coarser granularity. The
+		// survivors are made self-contained so the dropped snapshots'
+		// memory is actually released.
 		k := 0
 		for i := 1; i < len(m.snaps); i += 2 {
 			m.snaps[k] = m.snaps[i]
 			k++
 		}
 		m.snaps = m.snaps[:k]
+		for _, kept := range m.snaps {
+			kept.selfContain()
+		}
 		m.checkpoint *= 2
 	}
 	m.nextSnap = m.dyn + m.checkpoint
@@ -106,11 +196,14 @@ var (
 	errCheckpointFault = errors.New("vm: checkpointing a run with injections is not supported")
 )
 
-// restore initializes the machine from a snapshot, deep-copying every
-// mutable segment so the snapshot stays reusable. It returns an error when
-// the snapshot cannot reproduce a straight run under the machine's options:
-// wrong program, a plan whose first candidate the snapshot has already
-// passed, or a memory flip due before the snapshot point.
+// restore initializes the machine from a snapshot. Small segments are
+// copied eagerly; large ones are mounted copy-on-write, with the snapshot's
+// shared pages installed lazily on first write. Either way the snapshot
+// stays reusable: the machine never writes through to snapshot pages. It
+// returns an error when the snapshot cannot reproduce a straight run under
+// the machine's options: wrong program, a plan whose first candidate the
+// snapshot has already passed, or a memory flip due before the snapshot
+// point.
 func (m *machine) restore(s *Snapshot) error {
 	if s.prog != m.prog {
 		return errResumeProg
@@ -124,14 +217,29 @@ func (m *machine) restore(s *Snapshot) error {
 	m.dyn = s.Dyn
 	m.readSlots = s.ReadSlots
 	m.writes = s.Writes
-	m.globals = append([]byte(nil), s.globals...)
+	globalTbl, stackTbl := s.tables()
+	gbuf := m.globals.flat[:0]
+	if s.globalLen <= eagerRestoreBytes {
+		m.globals = flatMem(s.globalLen, flattenInto(gbuf, globalTbl, s.globalLen))
+	} else {
+		m.globals = cowMem(s.globalLen, globalTbl)
+		m.globals.flat = gbuf
+	}
 	m.sp = s.sp
 	m.stackHW = s.stackHW
-	if s.stack != nil {
-		m.stack = make([]byte, ir.StackSize)
-		copy(m.stack, s.stack)
+	sbuf := m.stack.flat[:0]
+	m.stack = mem{n: ir.StackSize, flat: sbuf}
+	if s.stackHW > 0 {
+		if s.stackHW <= eagerRestoreBytes {
+			// flat covers [0, stackHW); every mapped access is below sp <=
+			// stackHW, and later high-water growth extends it.
+			m.stack = flatMem(ir.StackSize, flattenInto(sbuf, stackTbl, s.stackHW))
+		} else {
+			m.stack = cowMem(ir.StackSize, stackTbl)
+			m.stack.flat = sbuf
+		}
 	}
-	m.out = append([]byte(nil), s.out...)
+	m.out = s.out[:len(s.out):len(s.out)]
 	if m.countRoles {
 		// Continue the role tallies from the snapshot so a checkpointing
 		// profile run and its resumed halves agree. Runs that do not count
@@ -139,10 +247,20 @@ func (m *machine) restore(s *Snapshot) error {
 		m.readRoles = s.readRoles
 		m.writeRoles = s.writeRoles
 	}
-	m.frames = make([]frame, len(s.frames))
-	for i, fr := range s.frames {
-		fr.regs = append([]uint64(nil), fr.regs...)
-		m.frames[i] = fr
+	// If this run checkpoints too, its captures patch the resume point.
+	m.lastSnap = s
+
+	if need := len(s.regSlab) + 64; cap(m.regArena) < need {
+		m.regArena = make([]uint64, need)
+	} else {
+		m.regArena = m.regArena[:cap(m.regArena)]
+	}
+	m.regTop = copy(m.regArena, s.regSlab)
+	m.frames = append(m.frames[:0], s.frames...)
+	for i := range m.frames {
+		fr := &m.frames[i]
+		hi := fr.regBase + len(fr.regs)
+		fr.regs = m.regArena[fr.regBase:hi:hi]
 	}
 	return nil
 }

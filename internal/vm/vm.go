@@ -22,6 +22,12 @@
 // replay: same Result, same trap, same output, same injection sampling.
 // internal/core uses this to fast-forward each campaign experiment past
 // the prefix its golden run already computed.
+//
+// Snapshots are copy-on-write at page granularity: the machine keeps a
+// dirty-page bitmap updated by stores, capture copies only the pages
+// dirtied since the previous checkpoint (sharing every clean page with
+// its predecessor), and resume installs shared pages lazily — a page is
+// copied only when the resumed run first writes it. See mem.go.
 package vm
 
 import (
@@ -29,6 +35,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 
 	"multiflip/internal/ir"
 )
@@ -186,11 +193,14 @@ type Result struct {
 	Snapshots []*Snapshot
 }
 
-// frame is one call-stack entry.
+// frame is one call-stack entry. Register files live in the machine's
+// register arena; regBase is the frame's offset into it, so arena growth
+// and snapshot capture can rebase or slab-copy all frames at once.
 type frame struct {
 	code    []ir.Instr
 	pc      int
 	regs    []uint64
+	regBase int
 	savedSP int
 	retDst  ir.Reg // register in the CALLER receiving the return value
 	hasRet  bool
@@ -198,17 +208,20 @@ type frame struct {
 
 // machine is the transient run state.
 type machine struct {
-	prog      *ir.Program
-	globals   []byte
-	stack     []byte
-	sp        int
-	stackHW   int // high-water mark of sp: bytes above it are still zero
-	frames    []frame
-	out       []byte
-	maxOut    int
-	maxDepth  int
-	dyn       uint64
-	maxDyn    uint64
+	prog     *ir.Program
+	globals  mem
+	stack    mem
+	sp       int
+	stackHW  int // high-water mark of sp: bytes above it are still zero
+	frames   []frame
+	regArena []uint64 // concatenated register files of the live frames
+	regTop   int
+	out      []byte
+	maxOut   int
+	maxDepth int
+	dyn      uint64
+	maxDyn   uint64
+
 	readSlots uint64
 	writes    uint64
 
@@ -216,20 +229,31 @@ type machine struct {
 	nextSnap   uint64
 	maxSnaps   int
 	snaps      []*Snapshot
+	// lastSnap is the previous capture (or the restore source): the base
+	// the next capture's delta patches. imgPages is the program image's
+	// page table, the baseline when there is no previous capture.
+	lastSnap *Snapshot
+	imgPages [][]byte
 
 	noAlign    bool
 	countRoles bool
 	readRoles  [ir.NumSlotRoles]uint64
 	writeRoles [ir.NumSlotRoles]uint64
-	plan       *Plan
-	memFlips   []MemFlip
-	memIdx     int
-	injected   int
-	firstBit   int
-	firstDone  bool
-	planDone   bool
-	nextDyn    uint64 // next dynamic index eligible for a follow-up injection
-	injDyns    []uint64
+
+	plan *Plan
+	// injRead/injWrite gate the per-instruction injection checks; both
+	// drop to false once the plan has performed its last flip, so the
+	// post-injection tail runs at fault-free speed.
+	injRead     bool
+	injWrite    bool
+	memFlips    []MemFlip
+	memIdx      int
+	nextMemFlip uint64
+	injected    int
+	firstBit    int
+	firstDone   bool
+	nextDyn     uint64 // next dynamic index eligible for a follow-up injection
+	injDyns     []uint64
 
 	trap TrapKind
 	stop StopReason
@@ -237,26 +261,55 @@ type machine struct {
 
 var errNoMain = errors.New("vm: program main must take no arguments")
 
+// machinePool recycles machines (and their register arena, frame slice
+// and segment buffers) across runs: a campaign executes hundreds of
+// thousands of short resumed runs, and per-run allocation would dominate.
+var machinePool = sync.Pool{New: func() any { return new(machine) }}
+
+// putMachine resets m, keeping only its reusable buffers, and returns it
+// to the pool. Everything that escaped into the Result (output, snapshots,
+// injection dyns) is left untouched; everything else is dropped so pooled
+// machines do not retain programs or snapshot pages.
+func putMachine(m *machine) {
+	arena := m.regArena
+	frames := m.frames[:cap(m.frames)]
+	clear(frames)
+	gbuf := m.globals.flat[:0]
+	sbuf := m.stack.flat[:0]
+	*m = machine{}
+	m.regArena = arena
+	m.frames = frames[:0]
+	m.globals.flat = gbuf
+	m.stack.flat = sbuf
+	machinePool.Put(m)
+}
+
 // Run executes p under opts and returns the observable result. Structural
 // errors (invalid program shape) return an error; traps, hangs and output
 // overflows are reported in Result.
+//
+// p must have passed ir.Program.Validate — true of every program built
+// with the ir builder's Build/MustBuild — because the interpreter trusts
+// the per-instruction caches Validate populates (Instr.NR). Running a
+// hand-assembled, unvalidated Program mis-counts injection candidates
+// silently.
 func Run(p *ir.Program, opts Options) (*Result, error) {
 	mainFn := p.Funcs[p.Main]
 	if mainFn.NumArgs != 0 {
 		return nil, errNoMain
 	}
-	m := &machine{
-		prog:       p,
-		globals:    append([]byte(nil), p.Globals...),
-		maxOut:     opts.MaxOutput,
-		maxDepth:   opts.MaxDepth,
-		maxDyn:     opts.MaxDyn,
-		noAlign:    opts.NoAlignTrap,
-		countRoles: opts.CountRoles,
-		plan:       opts.Plan,
-		memFlips:   opts.MemFlips,
-		firstBit:   -1,
-	}
+	m := machinePool.Get().(*machine)
+	defer putMachine(m)
+	m.prog = p
+	m.maxOut = opts.MaxOutput
+	m.maxDepth = opts.MaxDepth
+	m.maxDyn = opts.MaxDyn
+	m.noAlign = opts.NoAlignTrap
+	m.countRoles = opts.CountRoles
+	m.plan = opts.Plan
+	m.memFlips = opts.MemFlips
+	m.nextMemFlip = ^uint64(0)
+	m.firstBit = -1
 	if m.maxOut == 0 {
 		m.maxOut = DefaultMaxOutput
 	}
@@ -266,10 +319,15 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 	if m.maxDyn == 0 {
 		m.maxDyn = DefaultMaxDyn
 	}
+	if len(m.memFlips) > 0 {
+		m.nextMemFlip = m.memFlips[0].AtDyn
+	}
 	if m.plan != nil {
 		if err := m.plan.validate(); err != nil {
 			return nil, err
 		}
+		m.injRead = !m.plan.OnWrite
+		m.injWrite = m.plan.OnWrite
 	}
 	m.checkpoint = opts.Checkpoint
 	m.nextSnap = noSnap
@@ -295,9 +353,18 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 			return nil, err
 		}
 	} else {
-		m.pushFrame(mainFn, nil, ir.NoReg, false)
+		m.globals = flatMem(len(p.Globals), append(m.globals.flat[:0], p.Globals...))
+		m.stack = mem{n: ir.StackSize, flat: m.stack.flat[:0]}
+		m.pushFrame(p.Main, nil, ir.NoReg, false)
 	}
 	if m.checkpoint > 0 {
+		m.globals.track()
+		m.stack.track()
+		if opts.Resume == nil {
+			// Clean pages of the first capture share the immutable program
+			// image rather than being copied.
+			m.imgPages = pageTable(p.Globals)
+		}
 		m.nextSnap = m.dyn + m.checkpoint
 	}
 	m.run()
@@ -342,12 +409,43 @@ func ProfileWith(p *ir.Program, opts Options) (*Result, error) {
 	return res, nil
 }
 
-func (m *machine) pushFrame(f *ir.Func, args []uint64, retDst ir.Reg, hasRet bool) {
-	regs := make([]uint64, f.NumRegs)
+// allocRegs carves n zeroed registers off the arena, growing it (and
+// rebasing the live frames' register slices) when full.
+func (m *machine) allocRegs(n int) []uint64 {
+	need := m.regTop + n
+	if need > len(m.regArena) {
+		c := 2 * len(m.regArena)
+		if c < need {
+			c = need
+		}
+		if c < 64 {
+			c = 64
+		}
+		na := make([]uint64, c)
+		copy(na, m.regArena[:m.regTop])
+		m.regArena = na
+		for i := range m.frames {
+			fr := &m.frames[i]
+			fr.regs = na[fr.regBase : fr.regBase+len(fr.regs) : fr.regBase+len(fr.regs)]
+		}
+	}
+	s := m.regArena[m.regTop:need:need]
+	for i := range s {
+		s[i] = 0
+	}
+	m.regTop = need
+	return s
+}
+
+func (m *machine) pushFrame(fIdx int, args []uint64, retDst ir.Reg, hasRet bool) {
+	f := m.prog.Funcs[fIdx]
+	base := m.regTop
+	regs := m.allocRegs(f.NumRegs)
 	copy(regs, args)
 	m.frames = append(m.frames, frame{
 		code:    f.Code,
 		regs:    regs,
+		regBase: base,
 		savedSP: m.sp,
 		retDst:  retDst,
 		hasRet:  hasRet,
@@ -357,6 +455,13 @@ func (m *machine) pushFrame(f *ir.Func, args []uint64, retDst ir.Reg, hasRet boo
 func (m *machine) trapOut(k TrapKind) {
 	m.trap = k
 	m.stop = StopTrap
+}
+
+// endPlan marks the injection plan complete, removing its per-instruction
+// checks from the interpreter loop.
+func (m *machine) endPlan() {
+	m.injRead = false
+	m.injWrite = false
 }
 
 // val returns the raw 64-bit payload of an operand.
@@ -380,15 +485,15 @@ func (m *machine) run() {
 		}
 		di := m.dyn
 		m.dyn++
-		if m.memIdx < len(m.memFlips) && di >= m.memFlips[m.memIdx].AtDyn {
+		if di >= m.nextMemFlip {
 			m.applyMemFlip(di)
 		}
 		in := &fr.code[fr.pc]
-		nr := in.NumRegReads()
+		nr := int(in.NR)
 
 		// Inject-on-read: corrupt a source register just before the
 		// instruction consumes it.
-		if m.plan != nil && !m.planDone && !m.plan.OnWrite {
+		if m.injRead {
 			m.maybeInjectRead(di, in, fr.regs, nr)
 		}
 		m.readSlots += uint64(nr)
@@ -406,12 +511,29 @@ func (m *machine) run() {
 		regs := fr.regs
 		advance := true
 		switch in.Op {
-		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
-			ir.OpShl, ir.OpLShr, ir.OpAShr:
+		// The frequent integer ops get dedicated cases: the opcode switch
+		// compiles to one jump table, and a grouped case would pay a second
+		// dispatch inside a helper on every dynamic instruction.
+		case ir.OpAdd:
+			mask := in.W.Mask()
+			regs[in.Dst] = (val(regs, in.A) + val(regs, in.B)) & mask
+		case ir.OpSub:
+			mask := in.W.Mask()
+			regs[in.Dst] = (val(regs, in.A) - val(regs, in.B)) & mask
+		case ir.OpMul:
+			mask := in.W.Mask()
+			regs[in.Dst] = (val(regs, in.A) * val(regs, in.B)) & mask
+		case ir.OpAnd:
+			regs[in.Dst] = (val(regs, in.A) & val(regs, in.B)) & in.W.Mask()
+		case ir.OpOr:
+			regs[in.Dst] = (val(regs, in.A) | val(regs, in.B)) & in.W.Mask()
+		case ir.OpXor:
+			regs[in.Dst] = (val(regs, in.A) ^ val(regs, in.B)) & in.W.Mask()
+		case ir.OpShl, ir.OpLShr, ir.OpAShr:
 			mask := in.W.Mask()
 			a := val(regs, in.A) & mask
 			b := val(regs, in.B) & mask
-			regs[in.Dst] = intBin(in.Op, in.W, a, b) & mask
+			regs[in.Dst] = intShift(in.Op, in.W, a, b) & mask
 
 		case ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem:
 			mask := in.W.Mask()
@@ -447,12 +569,26 @@ func (m *machine) run() {
 		case ir.OpBitcast, ir.OpMov:
 			regs[in.Dst] = val(regs, in.A)
 
-		case ir.OpICmpEQ, ir.OpICmpNE, ir.OpICmpULT, ir.OpICmpULE,
-			ir.OpICmpSLT, ir.OpICmpSLE:
+		case ir.OpICmpEQ:
 			mask := in.W.Mask()
-			a := val(regs, in.A) & mask
-			b := val(regs, in.B) & mask
-			regs[in.Dst] = boolBit(intCmp(in.Op, in.W, a, b))
+			regs[in.Dst] = boolBit(val(regs, in.A)&mask == val(regs, in.B)&mask)
+		case ir.OpICmpNE:
+			mask := in.W.Mask()
+			regs[in.Dst] = boolBit(val(regs, in.A)&mask != val(regs, in.B)&mask)
+		case ir.OpICmpULT:
+			mask := in.W.Mask()
+			regs[in.Dst] = boolBit(val(regs, in.A)&mask < val(regs, in.B)&mask)
+		case ir.OpICmpULE:
+			mask := in.W.Mask()
+			regs[in.Dst] = boolBit(val(regs, in.A)&mask <= val(regs, in.B)&mask)
+		case ir.OpICmpSLT:
+			w := in.W
+			mask := w.Mask()
+			regs[in.Dst] = boolBit(w.SignExtend(val(regs, in.A)&mask) < w.SignExtend(val(regs, in.B)&mask))
+		case ir.OpICmpSLE:
+			w := in.W
+			mask := w.Mask()
+			regs[in.Dst] = boolBit(w.SignExtend(val(regs, in.A)&mask) <= w.SignExtend(val(regs, in.B)&mask))
 		case ir.OpFCmpEQ, ir.OpFCmpNE, ir.OpFCmpLT, ir.OpFCmpLE:
 			a := math.Float64frombits(val(regs, in.A))
 			b := math.Float64frombits(val(regs, in.B))
@@ -480,13 +616,8 @@ func (m *machine) run() {
 				return
 			}
 		case ir.OpAlloca:
-			// The stack segment materializes on first use; programs with
-			// no allocas never pay for it.
-			if m.stack == nil {
-				m.stack = make([]byte, ir.StackSize)
-			}
 			size := (in.Off + 7) &^ 7
-			if m.sp+int(size) > len(m.stack) {
+			if m.sp+int(size) > m.stack.n {
 				m.trapOut(TrapStackOverflow)
 				return
 			}
@@ -494,6 +625,11 @@ func (m *machine) run() {
 			m.sp += int(size)
 			if m.sp > m.stackHW {
 				m.stackHW = m.sp
+				if m.stack.res == nil {
+					// Unbacked stacks keep flat covering the live range so
+					// loads and stores can index it directly.
+					m.stack.growFlat(m.sp)
+				}
 			}
 
 		case ir.OpBr:
@@ -510,14 +646,13 @@ func (m *machine) run() {
 				m.trapOut(TrapStackOverflow)
 				return
 			}
-			callee := m.prog.Funcs[in.Off]
 			var argbuf [8]uint64
 			args := argbuf[:0]
 			for _, a := range in.Args {
 				args = append(args, val(regs, a))
 			}
 			fr.pc++ // resume after the call
-			m.pushFrame(callee, args, in.Dst, in.HasDst())
+			m.pushFrame(int(in.Off), args, in.Dst, in.HasDst())
 			// The call's destination is written when the callee returns;
 			// it becomes an inject-on-write candidate at OpRet.
 			fr = &m.frames[len(m.frames)-1]
@@ -530,6 +665,7 @@ func (m *machine) run() {
 				retVal = val(regs, in.A)
 			}
 			m.sp = fr.savedSP
+			m.regTop = fr.regBase
 			retDst, hasRet := fr.retDst, fr.hasRet
 			m.frames = m.frames[:len(m.frames)-1]
 			if len(m.frames) == 0 {
@@ -546,7 +682,7 @@ func (m *machine) run() {
 			// treat the return as that write for injection purposes.
 			if hasRet {
 				m.writes++
-				if m.plan != nil && !m.planDone && m.plan.OnWrite {
+				if m.injWrite {
 					m.maybeInjectWrite(di, ir.W64, caller.regs, retDst)
 				}
 			}
@@ -573,7 +709,7 @@ func (m *machine) run() {
 		// instruction writes it. Calls are handled at their matching Ret.
 		if in.HasDst() && in.Op != ir.OpCall {
 			m.writes++
-			if m.plan != nil && !m.planDone && m.plan.OnWrite {
+			if m.injWrite {
 				m.maybeInjectWrite(di, ir.DestWidth(in), regs, in.Dst)
 			}
 		}
@@ -592,30 +728,19 @@ func boolBit(b bool) uint64 {
 	return 0
 }
 
-// intBin evaluates non-trapping integer binaries on width-masked inputs.
-func intBin(op ir.Op, w ir.Width, a, b uint64) uint64 {
+// intShift evaluates the shift ops on width-masked inputs; the shift
+// amount wraps at the operand width, as on x86.
+func intShift(op ir.Op, w ir.Width, a, b uint64) uint64 {
+	sh := b & uint64(w.Bits()-1)
 	switch op {
-	case ir.OpAdd:
-		return a + b
-	case ir.OpSub:
-		return a - b
-	case ir.OpMul:
-		return a * b
-	case ir.OpAnd:
-		return a & b
-	case ir.OpOr:
-		return a | b
-	case ir.OpXor:
-		return a ^ b
 	case ir.OpShl:
-		return a << (b & uint64(w.Bits()-1))
+		return a << sh
 	case ir.OpLShr:
-		return a >> (b & uint64(w.Bits()-1))
+		return a >> sh
 	case ir.OpAShr:
-		sh := b & uint64(w.Bits()-1)
 		return uint64(w.SignExtend(a) >> sh)
 	}
-	panic("vm: intBin bad op")
+	panic("vm: intShift bad op")
 }
 
 // intDiv evaluates division/remainder, reporting arithmetic traps.
@@ -661,24 +786,6 @@ func floatBin(op ir.Op, a, b float64) float64 {
 	panic("vm: floatBin bad op")
 }
 
-func intCmp(op ir.Op, w ir.Width, a, b uint64) bool {
-	switch op {
-	case ir.OpICmpEQ:
-		return a == b
-	case ir.OpICmpNE:
-		return a != b
-	case ir.OpICmpULT:
-		return a < b
-	case ir.OpICmpULE:
-		return a <= b
-	case ir.OpICmpSLT:
-		return w.SignExtend(a) < w.SignExtend(b)
-	case ir.OpICmpSLE:
-		return w.SignExtend(a) <= w.SignExtend(b)
-	}
-	panic("vm: intCmp bad op")
-}
-
 func floatCmp(op ir.Op, a, b float64) bool {
 	switch op {
 	case ir.OpFCmpEQ:
@@ -710,42 +817,38 @@ func fpToSI(f float64, w ir.Width) uint64 {
 
 // load reads size bytes little-endian from the segmented address space.
 func (m *machine) load(addr uint64, size int) (uint64, TrapKind) {
-	seg, off, trap := m.resolve(addr, size)
+	s, off, trap := m.resolve(addr, size)
 	if trap != TrapNone {
 		return 0, trap
 	}
-	var v uint64
-	for i := size - 1; i >= 0; i-- {
-		v = v<<8 | uint64(seg[off+i])
-	}
-	return v, TrapNone
+	return s.load(off, size), TrapNone
 }
 
 // store writes size bytes little-endian.
 func (m *machine) store(addr uint64, size int, v uint64) TrapKind {
-	seg, off, trap := m.resolve(addr, size)
+	s, off, trap := m.resolve(addr, size)
 	if trap != TrapNone {
 		return trap
 	}
-	for i := 0; i < size; i++ {
-		seg[off+i] = byte(v >> (8 * uint(i)))
-	}
+	s.store(off, size, v)
 	return TrapNone
 }
 
 // resolve maps a virtual address range onto a segment, enforcing alignment
 // and bounds. Unmapped access is a segmentation fault; unaligned access is
 // a misaligned-access exception.
-func (m *machine) resolve(addr uint64, size int) ([]byte, int, TrapKind) {
-	if size > 1 && addr%uint64(size) != 0 && !m.noAlign {
+func (m *machine) resolve(addr uint64, size int) (*mem, int, TrapKind) {
+	// size is a power of two (1, 2, 4 or 8), so the alignment check is a
+	// mask rather than a division.
+	if addr&uint64(size-1) != 0 && !m.noAlign {
 		return nil, 0, TrapMisaligned
 	}
-	if addr >= ir.GlobalBase && addr+uint64(size) <= ir.GlobalBase+uint64(len(m.globals)) {
-		return m.globals, int(addr - ir.GlobalBase), TrapNone
+	if addr >= ir.GlobalBase && addr+uint64(size) <= ir.GlobalBase+uint64(m.globals.n) {
+		return &m.globals, int(addr - ir.GlobalBase), TrapNone
 	}
 	// Only the live part of the stack ([StackBase, StackBase+sp)) is mapped.
 	if addr >= ir.StackBase && addr+uint64(size) <= ir.StackBase+uint64(m.sp) {
-		return m.stack, int(addr - ir.StackBase), TrapNone
+		return &m.stack, int(addr - ir.StackBase), TrapNone
 	}
 	return nil, 0, TrapSegfault
 }
@@ -755,20 +858,17 @@ func (m *machine) applyMemFlip(di uint64) {
 	for m.memIdx < len(m.memFlips) && di >= m.memFlips[m.memIdx].AtDyn {
 		mf := m.memFlips[m.memIdx]
 		m.memIdx++
-		if mf.Word+8 > uint64(len(m.globals)) {
+		if mf.Word+8 > uint64(m.globals.n) {
 			continue // outside the global image: nothing to corrupt
 		}
-		w := m.globals[mf.Word : mf.Word+8]
-		v := uint64(0)
-		for i := 7; i >= 0; i-- {
-			v = v<<8 | uint64(w[i])
-		}
-		v ^= mf.Mask
-		for i := 0; i < 8; i++ {
-			w[i] = byte(v >> (8 * uint(i)))
-		}
+		v := m.globals.load(int(mf.Word), 8)
+		m.globals.store(int(mf.Word), 8, v^mf.Mask)
 		m.injected += popcount(mf.Mask)
 		m.injDyns = append(m.injDyns, di)
+	}
+	m.nextMemFlip = ^uint64(0)
+	if m.memIdx < len(m.memFlips) {
+		m.nextMemFlip = m.memFlips[m.memIdx].AtDyn
 	}
 }
 
