@@ -238,8 +238,21 @@ func BenchmarkMemFaultSweep(b *testing.B) {
 }
 
 // BenchmarkVMGoldenRun measures raw interpreter throughput on fault-free
-// runs of three differently shaped workloads.
+// runs of three differently shaped workloads, under the default
+// token-threaded dispatch with superinstruction fusion.
 func BenchmarkVMGoldenRun(b *testing.B) {
+	benchVMGoldenRun(b, false)
+}
+
+// BenchmarkVMGoldenRunNoFuse is the dispatch ablation: the same runs with
+// superinstructions disabled, isolating the fusion share of the speedup.
+// The fusion differential tests guarantee both variants produce
+// bit-identical results.
+func BenchmarkVMGoldenRunNoFuse(b *testing.B) {
+	benchVMGoldenRun(b, true)
+}
+
+func benchVMGoldenRun(b *testing.B, noFuse bool) {
 	for _, name := range []string{"CRC32", "FFT", "susan_smoothing"} {
 		bench, err := prog.ByName(name)
 		if err != nil {
@@ -252,7 +265,7 @@ func BenchmarkVMGoldenRun(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var dyn uint64
 			for i := 0; i < b.N; i++ {
-				res, err := vm.Run(p, vm.Options{})
+				res, err := vm.Run(p, vm.Options{NoFuse: noFuse})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -71,7 +71,29 @@ type params struct {
 	verbose     bool
 }
 
+// run resolves the output writer and delegates to runTo. Writing to a
+// file checks the Close error explicitly: EXPERIMENTS.md is produced via
+// -o, and a full disk surfacing only in Close must not yield a silently
+// truncated report with exit code 0.
 func run(p params) error {
+	if p.out == "" {
+		return runTo(os.Stdout, p)
+	}
+	f, err := os.Create(p.out)
+	if err != nil {
+		return err
+	}
+	if err := runTo(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("writing %s: %w", p.out, err)
+	}
+	return nil
+}
+
+func runTo(w io.Writer, p params) error {
 	n, seed := p.n, p.seed
 	opts := study.Options{
 		N:           n,
@@ -80,7 +102,18 @@ func run(p params) error {
 		NoSnapshots: p.nosnap,
 	}
 	if p.progs != "" {
-		opts.Programs = strings.Split(p.progs, ",")
+		// Tolerate spaces around the commas: "CRC32, basicmath" names the
+		// same programs as "CRC32,basicmath".
+		for _, name := range strings.Split(p.progs, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				opts.Programs = append(opts.Programs, name)
+			}
+		}
+		if len(opts.Programs) == 0 {
+			// An empty Programs list means "all 15"; a -progs value that
+			// trims to nothing must fail fast, not launch the full study.
+			return fmt.Errorf("-progs %q names no programs", p.progs)
+		}
 	}
 	if p.quick {
 		opts.MaxMBFs = []int{2, 3, 10, 30}
@@ -90,16 +123,6 @@ func run(p params) error {
 	}
 	if p.verbose {
 		opts.Log = os.Stderr
-	}
-
-	var w io.Writer = os.Stdout
-	if p.out != "" {
-		f, err := os.Create(p.out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
 	}
 
 	if p.composition {
@@ -127,9 +150,8 @@ func run(p params) error {
 		return err
 	}
 	if p.csvDir != "" {
-		// Transition campaigns were already run by RenderAll when enabled;
-		// re-running them for CSV is cheap relative to the grid but
-		// avoidable only with caching — accept the cost.
+		// The transition campaigns RenderAll already ran are memoized on
+		// the study, so the CSV export reuses their results.
 		if err := s.WriteCSVDir(p.csvDir, p.transitions); err != nil {
 			return err
 		}

@@ -81,6 +81,12 @@ type CampaignSpec struct {
 	// differential tests enforce it); the knob exists for that comparison
 	// and as an escape hatch.
 	NoSnapshots bool
+	// NoFusion disables superinstruction execution in every experiment of
+	// this campaign: each instruction dispatches alone through the VM's
+	// handler table. Results are bit-identical either way (the fusion
+	// differential tests enforce it); the knob exists for that comparison
+	// and for the CI dispatch ablation.
+	NoFusion bool
 	// Pins, when non-empty, forces experiment i's first injection to
 	// Pins[i] and sets N = len(Pins).
 	Pins []Pin
@@ -149,6 +155,7 @@ func RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
 	exps := make([]Experiment, n)
 	var (
 		next     atomic.Int64
+		failed   atomic.Bool
 		wg       sync.WaitGroup
 		firstMu  sync.Mutex
 		firstErr error
@@ -157,7 +164,11 @@ func RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for !failed.Load() {
+				// The failed check gates the claim loop: once any worker
+				// errors, the whole campaign's result is discarded, so its
+				// peers must stop claiming experiments instead of running
+				// the rest of the grid for nothing.
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -173,6 +184,7 @@ func RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
 						firstErr = err
 					}
 					firstMu.Unlock()
+					failed.Store(true)
 					return
 				}
 				exps[i] = exp
@@ -254,6 +266,7 @@ func runOne(spec *CampaignSpec, idx uint64, pin *Pin) (Experiment, error) {
 		NoAlignTrap: spec.NoAlignTrap,
 		Plan:        plan,
 		Resume:      resume,
+		NoFuse:      spec.NoFusion,
 	})
 	if err != nil {
 		return Experiment{}, fmt.Errorf("core: %s experiment %d: %w", t.Name, idx, err)

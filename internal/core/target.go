@@ -64,6 +64,11 @@ type TargetOptions struct {
 	// NoSnapshots skips golden-run checkpointing entirely; every experiment
 	// then replays the fault-free prefix from instruction 0.
 	NoSnapshots bool
+	// NoFusion profiles the target with superinstruction execution
+	// disabled. The profile (golden output, candidate counts, snapshots)
+	// is bit-identical either way; the knob supports the fusion
+	// differential tests.
+	NoFusion bool
 }
 
 // NewTarget profiles p fault-free, recording golden-run snapshots at the
@@ -74,7 +79,7 @@ func NewTarget(name string, p *ir.Program) (*Target, error) {
 
 // NewTargetOpts is NewTarget with explicit preparation options.
 func NewTargetOpts(name string, p *ir.Program, opts TargetOptions) (*Target, error) {
-	var vopts vm.Options
+	vopts := vm.Options{NoFuse: opts.NoFusion}
 	if !opts.NoSnapshots {
 		vopts.Checkpoint = opts.SnapshotInterval
 		if vopts.Checkpoint == 0 {

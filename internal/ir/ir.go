@@ -278,6 +278,19 @@ type Instr struct {
 	// slot count, which the VM consumes on every dynamic execution.
 	// Populated by Program.Validate (and therefore by Build).
 	NR uint8
+	// DW caches the instruction's destination-register write count (1 when
+	// the instruction is an inject-on-write candidate at its own PC, else
+	// 0; calls count at their matching return instead). Populated by
+	// Program.Validate.
+	DW uint8
+	// Tok is the instruction's dispatch token: the VM handler-table index,
+	// with operand kinds and widths resolved once. Populated by
+	// Program.Validate; the zero value dispatches to an abort trap.
+	Tok Token
+	// FTok, when not FuseNone, marks this instruction and its successor as
+	// a superinstruction the VM may execute in one dispatch round.
+	// Populated by Program.Validate's fusion pass.
+	FTok FuseKind
 }
 
 // HasDst reports whether the instruction writes a destination register,
@@ -399,9 +412,10 @@ func (p *Program) StaticInstrs() int {
 // ids within the frame, calls referencing existing functions with matching
 // arity, widths present where required, and a terminated instruction
 // stream. It also populates the per-instruction caches the VM relies on
-// (Instr.NR), so a hand-assembled Program must pass through Validate
-// before it is run. Programs produced by the builder are validated at
-// Build time.
+// (Instr.NR, Instr.DW, the dispatch token Instr.Tok, and the
+// superinstruction annotation Instr.FTok), so a hand-assembled Program
+// must pass through Validate before it is run. Programs produced by the
+// builder are validated at Build time.
 func (p *Program) Validate() error {
 	if p.Main < 0 || p.Main >= len(p.Funcs) {
 		return fmt.Errorf("ir: main index %d out of range (%d funcs)", p.Main, len(p.Funcs))
@@ -436,6 +450,11 @@ func (p *Program) validateFunc(f *Func) error {
 			return fmt.Errorf("pc %d: %d register-read operands exceed the limit of 255", pc, nr)
 		}
 		in.NR = uint8(nr)
+		in.DW = 0
+		if in.Dst != NoReg && in.Op != OpCall {
+			in.DW = 1
+		}
+		in.Tok = tokenOf(in)
 		if in.Dst != NoReg && int(in.Dst) >= f.NumRegs {
 			return fmt.Errorf("pc %d: dst r%d out of range (%d regs)", pc, in.Dst, f.NumRegs)
 		}
@@ -480,5 +499,6 @@ func (p *Program) validateFunc(f *Func) error {
 	if last.Op != OpRet && last.Op != OpBr && last.Op != OpAbort {
 		return fmt.Errorf("function does not end in ret/br/abort (got %s)", last.Op)
 	}
+	fuseFunc(f)
 	return nil
 }

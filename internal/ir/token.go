@@ -1,0 +1,308 @@
+package ir
+
+// This file defines the dispatch metadata consumed by the VM's
+// token-threaded interpreter. Validate resolves every instruction to a
+// dispatch Token — a per-opcode handler index, specialized by operand
+// kind and width where that removes per-execution branches — and runs the
+// superinstruction fusion pass, which annotates instructions whose
+// adjacent successor can be executed in the same dispatch round.
+//
+// Tokens and fusion kinds are pure annotations: the instruction stream,
+// its PCs, and its injection-candidate accounting are unchanged. The VM
+// may execute an annotated pair fused (one dispatch, two instructions) or
+// unfused (two dispatches) and must produce bit-identical machine state
+// either way; the fusion pass only asserts legality, never semantics.
+
+// Token indexes the VM's handler table. It is resolved once per
+// instruction at validation time, so per-execution dispatch is a single
+// table load: the token already encodes choices — opcode, operand
+// immediacy, width — that the interpreter would otherwise re-test on
+// every dynamic execution.
+type Token uint8
+
+// Dispatch tokens. The generic per-opcode tokens mirror the opcode set;
+// the specialized tokens at the end resolve operand kind and width for
+// the hottest shapes (64-bit address arithmetic, register-addressed
+// memory access, register moves).
+const (
+	// TokInvalid marks an unvalidated instruction; the VM's handler for
+	// it raises an abort trap, mirroring the old switch's default case.
+	TokInvalid Token = iota
+
+	TokAdd
+	TokSub
+	TokMul
+	TokAnd
+	TokOr
+	TokXor
+	TokShl
+	TokLShr
+	TokAShr
+	TokDiv // UDiv/SDiv/URem/SRem
+	TokFBin
+	TokFNeg
+	TokFAbs
+	TokFSqrt
+	TokSExt
+	TokZTrunc // ZExt/Trunc (identical semantics: mask to width)
+	TokSIToFP
+	TokFPToSI
+	TokMov // Mov/Bitcast
+	TokCmpEQ
+	TokCmpNE
+	TokCmpULT
+	TokCmpULE
+	TokCmpSLT
+	TokCmpSLE
+	TokFCmp
+	TokSelect
+	TokLoad
+	TokStore
+	TokAlloca
+	TokBr
+	TokCondBr
+	TokCall
+	TokRet
+	TokOut
+	TokAbort
+
+	// Specialized tokens: operand kinds and widths resolved at validation
+	// time, so the handlers skip the imm/reg tests and width masking the
+	// generic handlers pay per execution.
+	TokAdd64RR // add.64 dst, reg, reg — address arithmetic
+	TokAdd64RI // add.64 dst, reg, imm — address/induction arithmetic
+	TokXor64RR // xor.64 dst, reg, reg
+	TokLoadR   // load with a register address operand
+	TokStoreRR // store with register address and register value
+	TokMovR    // mov/bitcast from a register
+
+	// NumTokens sizes token-indexed tables.
+	NumTokens
+)
+
+// FuseKind classifies a superinstruction: an instruction pair the VM may
+// execute in one dispatch round. The annotation lives on the pair's first
+// instruction and is only consulted when control is at that instruction,
+// so branching into the middle of a pair simply executes the second half
+// on its own — pair annotations may overlap freely.
+type FuseKind uint8
+
+// Fusion kinds, from generic to most specialized.
+const (
+	// FuseNone marks an instruction that must dispatch alone: control
+	// flow, calls/returns, aborts, the last instruction of a function,
+	// or a successor that is itself unfusable.
+	FuseNone FuseKind = iota
+	// FusePair marks a legal but unspecialized pair: both halves satisfy
+	// the fusion legality rules, but no dedicated superinstruction exists
+	// yet, so the VM executes them in separate dispatch rounds. The
+	// annotation documents pairability and is the candidate set for
+	// future specialized kinds (see the ROADMAP's dispatch follow-ups).
+	FusePair
+	// Kinds above FusePair execute both halves in one dispatch round.
+
+	// FuseAddLoad is add.64 feeding the address of the next load.
+	FuseAddLoad
+	// FuseAddStore is add.64 feeding the address of the next store.
+	FuseAddStore
+	// FuseCmpEQBr .. FuseCmpSLEBr are an integer compare followed by a
+	// conditional branch on the compare's destination register.
+	FuseCmpEQBr
+	FuseCmpNEBr
+	FuseCmpULTBr
+	FuseCmpULEBr
+	FuseCmpSLTBr
+	FuseCmpSLEBr
+	// FuseMov is a register-to-register mov (or bitcast) followed by any
+	// fusible instruction — the mov+arith superinstruction: the move
+	// executes inline and its successor dispatches in the same round.
+	FuseMov
+
+	// NumFuseKinds sizes fusion-kind-indexed tables.
+	NumFuseKinds
+)
+
+// tokenOf resolves an instruction's dispatch token. Called by Validate.
+func tokenOf(in *Instr) Token {
+	switch in.Op {
+	case OpAdd:
+		if in.W == W64 && in.A.IsReg() {
+			if in.B.IsReg() {
+				return TokAdd64RR
+			}
+			if in.B.IsImm() {
+				return TokAdd64RI
+			}
+		}
+		return TokAdd
+	case OpSub:
+		return TokSub
+	case OpMul:
+		return TokMul
+	case OpAnd:
+		return TokAnd
+	case OpOr:
+		return TokOr
+	case OpXor:
+		if in.W == W64 && in.A.IsReg() && in.B.IsReg() {
+			return TokXor64RR
+		}
+		return TokXor
+	case OpShl:
+		return TokShl
+	case OpLShr:
+		return TokLShr
+	case OpAShr:
+		return TokAShr
+	case OpUDiv, OpSDiv, OpURem, OpSRem:
+		return TokDiv
+	case OpFAdd, OpFSub, OpFMul, OpFDiv:
+		return TokFBin
+	case OpFNeg:
+		return TokFNeg
+	case OpFAbs:
+		return TokFAbs
+	case OpFSqrt:
+		return TokFSqrt
+	case OpSExt:
+		return TokSExt
+	case OpZExt, OpTrunc:
+		return TokZTrunc
+	case OpSIToFP:
+		return TokSIToFP
+	case OpFPToSI:
+		return TokFPToSI
+	case OpMov, OpBitcast:
+		if in.A.IsReg() {
+			return TokMovR
+		}
+		return TokMov
+	case OpICmpEQ:
+		return TokCmpEQ
+	case OpICmpNE:
+		return TokCmpNE
+	case OpICmpULT:
+		return TokCmpULT
+	case OpICmpULE:
+		return TokCmpULE
+	case OpICmpSLT:
+		return TokCmpSLT
+	case OpICmpSLE:
+		return TokCmpSLE
+	case OpFCmpEQ, OpFCmpNE, OpFCmpLT, OpFCmpLE:
+		return TokFCmp
+	case OpSelect:
+		return TokSelect
+	case OpLoad:
+		if in.A.IsReg() {
+			return TokLoadR
+		}
+		return TokLoad
+	case OpStore:
+		if in.A.IsReg() && in.B.IsReg() {
+			return TokStoreRR
+		}
+		return TokStore
+	case OpAlloca:
+		return TokAlloca
+	case OpBr:
+		return TokBr
+	case OpCondBr:
+		return TokCondBr
+	case OpCall:
+		return TokCall
+	case OpRet:
+		return TokRet
+	case OpOut:
+		return TokOut
+	case OpAbort:
+		return TokAbort
+	}
+	return TokInvalid
+}
+
+// fusibleHead reports whether op may head a superinstruction: it must be
+// straight-line (control stays at pc+1 on success), keep the frame stack
+// unchanged, and fail only by halting the run (trap or output limit) —
+// exactly the shapes whose mid-pair accounting the VM can reproduce
+// unfused.
+func fusibleHead(op Op) bool {
+	switch op {
+	case OpBr, OpCondBr, OpCall, OpRet, OpAbort:
+		return false
+	}
+	return true
+}
+
+// fusibleTail reports whether op may close a superinstruction. Branches
+// are allowed (they end the pair by redirecting control); calls and
+// returns are not, because they change the frame the dispatch loop holds.
+func fusibleTail(op Op) bool {
+	switch op {
+	case OpCall, OpRet:
+		return false
+	}
+	return true
+}
+
+// fuseKind classifies the pair (a, b) at adjacent PCs, returning the most
+// specialized legal superinstruction, or FuseNone.
+func fuseKind(a, b *Instr) FuseKind {
+	if !fusibleHead(a.Op) || !fusibleTail(b.Op) {
+		return FuseNone
+	}
+	// cmp + condbr on the compare's result register.
+	if b.Op == OpCondBr && a.Dst != NoReg && b.A.IsReg() && b.A.reg == a.Dst {
+		switch a.Op {
+		case OpICmpEQ:
+			return FuseCmpEQBr
+		case OpICmpNE:
+			return FuseCmpNEBr
+		case OpICmpULT:
+			return FuseCmpULTBr
+		case OpICmpULE:
+			return FuseCmpULEBr
+		case OpICmpSLT:
+			return FuseCmpSLTBr
+		case OpICmpSLE:
+			return FuseCmpSLEBr
+		}
+	}
+	// add.64 feeding the next memory access's address operand.
+	if a.Op == OpAdd && a.W == W64 && a.Dst != NoReg {
+		if b.Op == OpLoad && b.A.IsReg() && b.A.reg == a.Dst {
+			return FuseAddLoad
+		}
+		if b.Op == OpStore && b.A.IsReg() && b.A.reg == a.Dst {
+			return FuseAddStore
+		}
+	}
+	// Register move + anything: the mov executes inline ahead of its
+	// successor's dispatch.
+	if (a.Op == OpMov || a.Op == OpBitcast) && a.A.IsReg() && a.Dst != NoReg {
+		return FuseMov
+	}
+	return FusePair
+}
+
+// fuse runs the superinstruction fusion pass over one function: every
+// instruction whose successor can legally share its dispatch round is
+// annotated with the pair's FuseKind. Annotations may overlap (pc and
+// pc+1 can both head pairs); the VM consults only the annotation of the
+// instruction control is at.
+func fuseFunc(f *Func) {
+	for pc := 0; pc+1 < len(f.Code); pc++ {
+		f.Code[pc].FTok = fuseKind(&f.Code[pc], &f.Code[pc+1])
+	}
+	f.Code[len(f.Code)-1].FTok = FuseNone
+}
+
+// RegRaw returns the operand's register id without checking the operand
+// kind. Only dispatch handlers whose token guarantees a register operand
+// (resolved at validation time) may use it.
+func (o Operand) RegRaw() Reg { return o.reg }
+
+// ImmRaw returns the operand's raw immediate payload without checking the
+// operand kind. Only dispatch handlers whose token guarantees an
+// immediate operand may use it.
+func (o Operand) ImmRaw() uint64 { return o.imm }

@@ -45,6 +45,11 @@ type Spec struct {
 	// golden-run snapshot at or before the corruption instant. Results are
 	// bit-identical either way (the differential tests enforce it).
 	NoSnapshots bool
+	// NoFusion disables superinstruction execution in every experiment:
+	// each instruction dispatches alone through the VM's handler table.
+	// Results are bit-identical either way (the fusion differential tests
+	// enforce it).
+	NoFusion bool
 	// Record keeps per-experiment outcomes in the result.
 	Record bool
 }
@@ -100,6 +105,7 @@ func Run(spec Spec) (*Result, error) {
 	outcomes := make([]core.Outcome, spec.N)
 	var (
 		next     atomic.Int64
+		failed   atomic.Bool
 		wg       sync.WaitGroup
 		firstMu  sync.Mutex
 		firstErr error
@@ -108,7 +114,9 @@ func Run(spec Spec) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for !failed.Load() {
+				// Stop claiming experiments once any worker errored: the
+				// campaign aborts and every further result is discarded.
 				i := int(next.Add(1)) - 1
 				if i >= spec.N {
 					return
@@ -133,6 +141,7 @@ func Run(spec Spec) (*Result, error) {
 					MaxOutput: 4*len(t.Golden) + 4096,
 					MemFlips:  []vm.MemFlip{flip},
 					Resume:    resume,
+					NoFuse:    spec.NoFusion,
 				})
 				if err != nil {
 					firstMu.Lock()
@@ -140,6 +149,7 @@ func Run(spec Spec) (*Result, error) {
 						firstErr = fmt.Errorf("memfault: %s experiment %d: %w", t.Name, i, err)
 					}
 					firstMu.Unlock()
+					failed.Store(true)
 					return
 				}
 				outcomes[i] = t.Classify(res)

@@ -8,6 +8,7 @@ package study
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"multiflip/internal/core"
 	"multiflip/internal/prog"
@@ -98,6 +99,13 @@ type Study struct {
 	Programs []string
 	// Data maps program name -> campaigns.
 	Data map[string]*ProgData
+
+	// transOnce memoizes RunTransitions: the §IV-C3 pinned campaigns run
+	// at most once per study, no matter how many renderers (markdown,
+	// CSV, answers) ask for them.
+	transOnce sync.Once
+	trans     map[string]map[core.Technique]*TransitionResult
+	transErr  error
 }
 
 // Run executes the study: for every program and technique, the single

@@ -227,3 +227,29 @@ func TestAlignmentAblation(t *testing.T) {
 		t.Fatalf("ablation incomplete:\n%s", out)
 	}
 }
+
+// TestRunTransitionsMemoized pins the transition-study caching: the
+// §IV-C3 pinned campaigns run once per study, and every later caller —
+// the markdown renderer, the CSV export, the answers table — receives
+// the same result maps instead of re-running the grid.
+func TestRunTransitionsMemoized(t *testing.T) {
+	s := tiny(t)
+	first, err := s.RunTransitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.RunTransitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("transition study returned no programs")
+	}
+	for name, techs := range first {
+		for tech, res := range techs {
+			if second[name][tech] != res {
+				t.Fatalf("%s %s: transition result re-computed instead of memoized", name, tech)
+			}
+		}
+	}
+}

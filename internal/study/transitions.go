@@ -31,8 +31,17 @@ type TransitionResult struct {
 
 // RunTransitions performs the transition study for every program and
 // technique in the study. It reuses the recorded single-bit campaigns and
-// runs one pinned multi-bit campaign each.
+// runs one pinned multi-bit campaign each. The result is memoized on the
+// Study: the first call pays for the campaigns, every later call (e.g. a
+// CSV export after the markdown render) returns the same maps.
 func (s *Study) RunTransitions() (map[string]map[core.Technique]*TransitionResult, error) {
+	s.transOnce.Do(func() {
+		s.trans, s.transErr = s.runTransitions()
+	})
+	return s.trans, s.transErr
+}
+
+func (s *Study) runTransitions() (map[string]map[core.Technique]*TransitionResult, error) {
 	out := make(map[string]map[core.Technique]*TransitionResult, len(s.Programs))
 	for _, name := range s.Programs {
 		d := s.Data[name]

@@ -1,0 +1,137 @@
+package vm
+
+import (
+	"fmt"
+	"testing"
+
+	"multiflip/internal/ir"
+	"multiflip/internal/prog"
+)
+
+// TestDispatchTokensAssigned checks the validation-time dispatch
+// metadata over every benchmark program: all instructions carry a real
+// token, the destination-write cache matches the instruction shape, and
+// superinstruction annotations obey the fusion legality rules (only
+// straight-line heads, no call/ret tails, never on a function's last
+// instruction).
+func TestDispatchTokensAssigned(t *testing.T) {
+	for _, bench := range prog.All() {
+		p, err := bench.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", bench.Name, err)
+		}
+		for _, f := range p.Funcs {
+			for pc := range f.Code {
+				in := &f.Code[pc]
+				if in.Tok == ir.TokInvalid {
+					t.Fatalf("%s %s pc %d: %s has no dispatch token", bench.Name, f.Name, pc, in.Op)
+				}
+				wantDW := uint8(0)
+				if in.Dst != ir.NoReg && in.Op != ir.OpCall {
+					wantDW = 1
+				}
+				if in.DW != wantDW {
+					t.Fatalf("%s %s pc %d: %s DW=%d, want %d", bench.Name, f.Name, pc, in.Op, in.DW, wantDW)
+				}
+				if in.FTok == ir.FuseNone {
+					continue
+				}
+				if pc+1 >= len(f.Code) {
+					t.Fatalf("%s %s pc %d: fusion annotation on the last instruction", bench.Name, f.Name, pc)
+				}
+				switch in.Op {
+				case ir.OpBr, ir.OpCondBr, ir.OpCall, ir.OpRet, ir.OpAbort:
+					t.Fatalf("%s %s pc %d: %s cannot head a superinstruction", bench.Name, f.Name, pc, in.Op)
+				}
+				switch tail := f.Code[pc+1].Op; tail {
+				case ir.OpCall, ir.OpRet:
+					t.Fatalf("%s %s pc %d: %s cannot close a superinstruction", bench.Name, f.Name, pc, tail)
+				}
+			}
+		}
+	}
+}
+
+// TestFusionDifferentialWorkloads proves the dispatch invariant on every
+// workload: a run with superinstruction fusion disabled is bit-identical
+// to the fused run — same stop, output, and dynamic/candidate counters.
+func TestFusionDifferentialWorkloads(t *testing.T) {
+	for _, bench := range prog.All() {
+		p, err := bench.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", bench.Name, err)
+		}
+		fused, err := Run(p, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", bench.Name, err)
+		}
+		unfused, err := Run(p, Options{NoFuse: true})
+		if err != nil {
+			t.Fatalf("%s (nofuse): %v", bench.Name, err)
+		}
+		sameResult(t, bench.Name+": unfused vs fused", unfused, fused)
+	}
+}
+
+// TestFusionCheckpointDifferential pins the interaction of fusion with
+// golden-run checkpointing: fused and unfused checkpointing runs place
+// snapshots at identical dynamic indices (the event horizon forces pairs
+// straddling a checkpoint to execute unfused), and a snapshot captured by
+// either variant resumes bit-identically under the other — including
+// resume points that land in the middle of an annotated pair.
+func TestFusionCheckpointDifferential(t *testing.T) {
+	for _, name := range []string{"qsort", "CRC32", "FFT"} {
+		bench, err := prog.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := bench.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		straight, err := Run(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, interval := range []uint64{37, 256} {
+			t.Run(fmt.Sprintf("%s/k=%d", name, interval), func(t *testing.T) {
+				fused, err := Run(p, Options{Checkpoint: interval})
+				if err != nil {
+					t.Fatal(err)
+				}
+				unfused, err := Run(p, Options{Checkpoint: interval, NoFuse: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResult(t, "unfused checkpointing run", unfused, fused)
+				if len(fused.Snapshots) != len(unfused.Snapshots) {
+					t.Fatalf("snapshot counts diverge: fused %d, unfused %d",
+						len(fused.Snapshots), len(unfused.Snapshots))
+				}
+				for i := range fused.Snapshots {
+					if fused.Snapshots[i].Dyn != unfused.Snapshots[i].Dyn {
+						t.Fatalf("snapshot %d at dyn %d (fused) vs %d (unfused)",
+							i, fused.Snapshots[i].Dyn, unfused.Snapshots[i].Dyn)
+					}
+				}
+				// Cross-resume: unfused snapshots may sit between the halves
+				// of an annotated pair; resuming with fusion enabled must
+				// simply execute the stranded half alone.
+				for _, idx := range []int{0, len(unfused.Snapshots) / 2, len(unfused.Snapshots) - 1} {
+					res, err := Run(p, Options{Resume: unfused.Snapshots[idx]})
+					if err != nil {
+						t.Fatalf("fused resume from unfused snapshot %d: %v", idx, err)
+					}
+					sameResult(t, fmt.Sprintf("fused resume from unfused dyn=%d",
+						unfused.Snapshots[idx].Dyn), res, straight)
+					res, err = Run(p, Options{Resume: fused.Snapshots[idx], NoFuse: true})
+					if err != nil {
+						t.Fatalf("unfused resume from fused snapshot %d: %v", idx, err)
+					}
+					sameResult(t, fmt.Sprintf("unfused resume from fused dyn=%d",
+						fused.Snapshots[idx].Dyn), res, straight)
+				}
+			})
+		}
+	}
+}

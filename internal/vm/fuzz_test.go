@@ -184,6 +184,17 @@ func FuzzVM(f *testing.F) {
 			t.Fatalf("dynamic budget violated: %d > %d", straight.Dyn, maxDyn)
 		}
 
+		// Superinstruction fusion must be invisible: random programs are
+		// dense in fused pairs, and the unfused run must match the fused
+		// one bit for bit.
+		nofuse := base
+		nofuse.NoFuse = true
+		nf, err := Run(p, nofuse)
+		if err != nil {
+			t.Fatalf("unfused run: %v", err)
+		}
+		sameResult(t, "unfused vs fused", nf, straight)
+
 		ckOpts := base
 		ckOpts.Checkpoint = uint64(8 + z.n(300))
 		ckOpts.MaxSnapshots = 2 + z.n(40)
@@ -214,6 +225,37 @@ func FuzzVM(f *testing.F) {
 		if res.Dyn > maxDyn {
 			t.Fatalf("resumed run violated the budget: %d > %d", res.Dyn, maxDyn)
 		}
+
+		// Cross-dispatch resume: an unfused checkpointing run places its
+		// snapshots at the same instants, including between the halves of
+		// an annotated pair; resuming such a snapshot with fusion enabled
+		// (and vice versa) must replay identically.
+		ckNoFuse := ckOpts
+		ckNoFuse.NoFuse = true
+		ckptNF, err := Run(p, ckNoFuse)
+		if err != nil {
+			t.Fatalf("unfused checkpointing run: %v", err)
+		}
+		sameResult(t, "unfused checkpointing run", ckptNF, straight)
+		if len(ckptNF.Snapshots) != len(ckpt.Snapshots) {
+			t.Fatalf("snapshot counts diverge across dispatch paths: %d vs %d",
+				len(ckptNF.Snapshots), len(ckpt.Snapshots))
+		}
+		snapNF := ckptNF.Snapshots[z.n(len(ckptNF.Snapshots))]
+		crossOpts := base
+		crossOpts.Resume = snapNF
+		cross, err := Run(p, crossOpts)
+		if err != nil {
+			t.Fatalf("fused resume from unfused snapshot dyn=%d: %v", snapNF.Dyn, err)
+		}
+		sameResult(t, fmt.Sprintf("fused resume from unfused dyn=%d", snapNF.Dyn), cross, straight)
+		crossOpts = nofuse
+		crossOpts.Resume = snap
+		cross, err = Run(p, crossOpts)
+		if err != nil {
+			t.Fatalf("unfused resume from fused snapshot dyn=%d: %v", snap.Dyn, err)
+		}
+		sameResult(t, fmt.Sprintf("unfused resume from fused dyn=%d", snap.Dyn), cross, straight)
 
 		// A register plan behaves identically from a cold start and from a
 		// snapshot preceding its first candidate.

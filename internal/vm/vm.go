@@ -145,6 +145,13 @@ type Options struct {
 	// Plan.FirstCand must not precede the snapshot's candidate counter, and
 	// no MemFlip may be due before the snapshot's Dyn.
 	Resume *Snapshot
+	// NoFuse disables superinstruction execution for this run: every
+	// instruction dispatches alone through the handler table. Results are
+	// bit-identical either way (the fusion differential tests enforce it);
+	// the knob exists for that comparison and for the CI dispatch
+	// ablation. The MULTIFLIP_NOFUSE environment variable disables fusion
+	// process-wide.
+	NoFuse bool
 }
 
 // MemFlip describes one memory-word corruption: just before the dynamic
@@ -244,8 +251,14 @@ type machine struct {
 	// injRead/injWrite gate the per-instruction injection checks; both
 	// drop to false once the plan has performed its last flip, so the
 	// post-injection tail runs at fault-free speed.
-	injRead     bool
-	injWrite    bool
+	injRead  bool
+	injWrite bool
+	// fuse enables superinstruction execution (see dispatch.go); cleared
+	// by Options.NoFuse or the MULTIFLIP_NOFUSE environment variable.
+	fuse bool
+	// retDst is the caller result register of the last statRetWrote
+	// return, for the dispatch loop's write accounting and injection.
+	retDst      ir.Reg
 	memFlips    []MemFlip
 	memIdx      int
 	nextMemFlip uint64
@@ -310,6 +323,7 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 	m.memFlips = opts.MemFlips
 	m.nextMemFlip = ^uint64(0)
 	m.firstBit = -1
+	m.fuse = fusionEnabled && !opts.NoFuse
 	if m.maxOut == 0 {
 		m.maxOut = DefaultMaxOutput
 	}
@@ -473,6 +487,28 @@ func val(regs []uint64, o ir.Operand) uint64 {
 }
 
 // run is the interpreter loop. It sets m.stop before returning.
+//
+// The loop is two-tier. The outer tier handles the events that can fire
+// between instructions — hang budget, snapshot capture, scheduled memory
+// flips — and decides which execution tier the next stretch takes:
+//
+//   - While any per-instruction observer is armed (an injection plan
+//     still in progress, or role counting), instructions execute one at
+//     a time through step(), which drives the indirect handler table and
+//     interleaves the injection checks exactly as the pre-dispatch-table
+//     interpreter did.
+//   - Otherwise sprint() runs: a tight token-threaded loop that executes
+//     up to the event horizon (the nearest of the hang budget, the next
+//     snapshot and the next memory flip) with no per-instruction event
+//     checks at all, keeping the dynamic and candidate counters in
+//     locals. Superinstructions execute there in a single dispatch
+//     round; the horizon check (at least two instructions of headroom)
+//     guarantees no event can fire between the halves, so fusion never
+//     perturbs snapshot boundaries or flip instants.
+//
+// Injection plans re-enter the fast tier once complete: endPlan clears
+// the armed flags, so the post-injection tail of every experiment runs at
+// fault-free speed.
 func (m *machine) run() {
 	fr := &m.frames[len(m.frames)-1]
 	for {
@@ -483,241 +519,424 @@ func (m *machine) run() {
 		if m.dyn >= m.nextSnap {
 			m.takeSnapshot()
 		}
-		di := m.dyn
-		m.dyn++
-		if di >= m.nextMemFlip {
-			m.applyMemFlip(di)
+		if m.dyn >= m.nextMemFlip {
+			m.applyMemFlip(m.dyn)
 		}
-		in := &fr.code[fr.pc]
-		nr := int(in.NR)
-
-		// Inject-on-read: corrupt a source register just before the
-		// instruction consumes it.
-		if m.injRead {
-			m.maybeInjectRead(di, in, fr.regs, nr)
-		}
-		m.readSlots += uint64(nr)
-		if m.countRoles {
-			for s := 0; s < nr; s++ {
-				m.readRoles[ir.ReadSlotRole(in, s)]++
-			}
-			if in.HasDst() && in.Op != ir.OpCall {
-				m.writeRoles[ir.DestRole(in)]++
-			} else if in.Op == ir.OpRet && fr.hasRet {
-				m.writeRoles[ir.RoleOther]++ // the caller's call result
-			}
-		}
-
-		regs := fr.regs
-		advance := true
-		switch in.Op {
-		// The frequent integer ops get dedicated cases: the opcode switch
-		// compiles to one jump table, and a grouped case would pay a second
-		// dispatch inside a helper on every dynamic instruction.
-		case ir.OpAdd:
-			mask := in.W.Mask()
-			regs[in.Dst] = (val(regs, in.A) + val(regs, in.B)) & mask
-		case ir.OpSub:
-			mask := in.W.Mask()
-			regs[in.Dst] = (val(regs, in.A) - val(regs, in.B)) & mask
-		case ir.OpMul:
-			mask := in.W.Mask()
-			regs[in.Dst] = (val(regs, in.A) * val(regs, in.B)) & mask
-		case ir.OpAnd:
-			regs[in.Dst] = (val(regs, in.A) & val(regs, in.B)) & in.W.Mask()
-		case ir.OpOr:
-			regs[in.Dst] = (val(regs, in.A) | val(regs, in.B)) & in.W.Mask()
-		case ir.OpXor:
-			regs[in.Dst] = (val(regs, in.A) ^ val(regs, in.B)) & in.W.Mask()
-		case ir.OpShl, ir.OpLShr, ir.OpAShr:
-			mask := in.W.Mask()
-			a := val(regs, in.A) & mask
-			b := val(regs, in.B) & mask
-			regs[in.Dst] = intShift(in.Op, in.W, a, b) & mask
-
-		case ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem:
-			mask := in.W.Mask()
-			a := val(regs, in.A) & mask
-			b := val(regs, in.B) & mask
-			r, trap := intDiv(in.Op, in.W, a, b)
-			if trap != TrapNone {
-				m.trapOut(trap)
+		if m.injRead || m.injWrite || m.countRoles {
+			if fr = m.step(fr); fr == nil {
 				return
 			}
-			regs[in.Dst] = r & mask
+			continue
+		}
+		// The event horizon: no snapshot, memory flip or hang stop can
+		// fire strictly before this dynamic index. applyMemFlip and
+		// takeSnapshot always advance their cursors past m.dyn, so
+		// sprint makes progress on every outer iteration.
+		limit := m.maxDyn
+		if m.nextSnap < limit {
+			limit = m.nextSnap
+		}
+		if m.nextMemFlip < limit {
+			limit = m.nextMemFlip
+		}
+		if fr = m.sprint(fr, limit); fr == nil {
+			return
+		}
+	}
+}
 
-		case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+// sprint is the fast execution tier: it executes instructions until the
+// dynamic counter reaches limit (the event horizon computed by run) or
+// the run stops, and returns the frame holding control, or nil when the
+// run is over.
+//
+// Dispatch is token-threaded: the switch over validation-resolved tokens
+// compiles to a dense jump table whose targets are the handler bodies
+// (the small handlers inline; the rest are direct calls), so there is no
+// per-instruction indirect call and no operand-kind or width re-testing.
+// The dynamic, read-slot and write counters live in locals for the whole
+// sprint — handlers never touch them — and are flushed back to the
+// machine on every exit so snapshots and the observer tier always see
+// exact values.
+//
+// Superinstructions (in.FTok) execute both halves in one dispatch round
+// with bit-identical accounting to their unfused expansion: the counters
+// advance per half, destination writes count per half, and a trap in the
+// second half leaves exactly the state the unfused execution would (the
+// head's effects visible, the tail's write uncounted). The fused path is
+// taken only with two instructions of headroom before the horizon, so no
+// snapshot or memory flip can land between the halves; pairs straddling
+// the horizon simply execute unfused, which is always legal.
+func (m *machine) sprint(fr *frame, limit uint64) *frame {
+	dyn, readSlots, writes := m.dyn, m.readSlots, m.writes
+	fuse := m.fuse
+	for dyn < limit {
+		in := &fr.code[fr.pc]
+		if ft := in.FTok; ft > ir.FusePair && fuse && limit-dyn >= 2 {
+			if ft == ir.FuseMov {
+				// mov+arith superinstruction: the move executes here with
+				// its own accounting, and its successor dispatches through
+				// the token switch below in the same round.
+				regs := fr.regs
+				regs[in.Dst] = regs[in.A.RegRaw()]
+				dyn++
+				readSlots += uint64(in.NR)
+				writes++
+				fr.pc++
+				in = &fr.code[fr.pc]
+				goto dispatch
+			}
+			// Pair-specialized superinstruction: both halves in this round.
+			in2 := &fr.code[fr.pc+1]
+			regs := fr.regs
+			dyn += 2
+			readSlots += uint64(in.NR) + uint64(in2.NR)
+			switch ft {
+			case ir.FuseAddLoad:
+				// The sum is still written to the add's destination —
+				// later code and snapshots observe it — then feeds the
+				// load address directly.
+				sum := val(regs, in.A) + val(regs, in.B)
+				regs[in.Dst] = sum
+				writes++
+				v, trap := m.load(sum+uint64(in2.Off), in2.W.Bytes())
+				if trap != TrapNone {
+					m.trapOut(trap)
+					goto halt
+				}
+				regs[in2.Dst] = v
+				writes++
+				fr.pc += 2
+			case ir.FuseAddStore:
+				sum := val(regs, in.A) + val(regs, in.B)
+				regs[in.Dst] = sum
+				writes++
+				if trap := m.store(sum+uint64(in2.Off), in2.W.Bytes(), val(regs, in2.B)); trap != TrapNone {
+					m.trapOut(trap)
+					goto halt
+				}
+				fr.pc += 2
+			default:
+				// Compare+branch: the compare result is still written to
+				// its destination register before the branch consumes it.
+				var c uint64
+				w := in.W
+				mask := w.Mask()
+				a := val(regs, in.A) & mask
+				b := val(regs, in.B) & mask
+				switch ft {
+				case ir.FuseCmpEQBr:
+					c = boolBit(a == b)
+				case ir.FuseCmpNEBr:
+					c = boolBit(a != b)
+				case ir.FuseCmpULTBr:
+					c = boolBit(a < b)
+				case ir.FuseCmpULEBr:
+					c = boolBit(a <= b)
+				case ir.FuseCmpSLTBr:
+					c = boolBit(w.SignExtend(a) < w.SignExtend(b))
+				default: // ir.FuseCmpSLEBr
+					c = boolBit(w.SignExtend(a) <= w.SignExtend(b))
+				}
+				regs[in.Dst] = c
+				writes++
+				if c != 0 {
+					fr.pc = int(in2.Off)
+				} else {
+					fr.pc += 2
+				}
+			}
+			continue
+		}
+	dispatch:
+		dyn++
+		readSlots += uint64(in.NR)
+		regs := fr.regs
+		switch in.Tok {
+		case ir.TokAdd64RR:
+			regs[in.Dst] = regs[in.A.RegRaw()] + regs[in.B.RegRaw()]
+			writes++
+			fr.pc++
+		case ir.TokAdd64RI:
+			regs[in.Dst] = regs[in.A.RegRaw()] + in.B.ImmRaw()
+			writes++
+			fr.pc++
+		case ir.TokXor64RR:
+			regs[in.Dst] = regs[in.A.RegRaw()] ^ regs[in.B.RegRaw()]
+			writes++
+			fr.pc++
+		case ir.TokMovR:
+			regs[in.Dst] = regs[in.A.RegRaw()]
+			writes++
+			fr.pc++
+		case ir.TokLoadR:
+			v, trap := m.load(regs[in.A.RegRaw()]+uint64(in.Off), in.W.Bytes())
+			if trap != TrapNone {
+				m.trapOut(trap)
+				goto halt
+			}
+			regs[in.Dst] = v
+			writes++
+			fr.pc++
+		case ir.TokStoreRR:
+			if trap := m.store(regs[in.A.RegRaw()]+uint64(in.Off), in.W.Bytes(), regs[in.B.RegRaw()]); trap != TrapNone {
+				m.trapOut(trap)
+				goto halt
+			}
+			fr.pc++
+		case ir.TokAdd:
+			regs[in.Dst] = (val(regs, in.A) + val(regs, in.B)) & in.W.Mask()
+			writes++
+			fr.pc++
+		case ir.TokSub:
+			regs[in.Dst] = (val(regs, in.A) - val(regs, in.B)) & in.W.Mask()
+			writes++
+			fr.pc++
+		case ir.TokMul:
+			regs[in.Dst] = (val(regs, in.A) * val(regs, in.B)) & in.W.Mask()
+			writes++
+			fr.pc++
+		case ir.TokAnd:
+			regs[in.Dst] = val(regs, in.A) & val(regs, in.B) & in.W.Mask()
+			writes++
+			fr.pc++
+		case ir.TokOr:
+			regs[in.Dst] = (val(regs, in.A) | val(regs, in.B)) & in.W.Mask()
+			writes++
+			fr.pc++
+		case ir.TokXor:
+			regs[in.Dst] = (val(regs, in.A) ^ val(regs, in.B)) & in.W.Mask()
+			writes++
+			fr.pc++
+		case ir.TokShl:
+			mask := in.W.Mask()
+			sh := val(regs, in.B) & uint64(in.W.Bits()-1)
+			regs[in.Dst] = ((val(regs, in.A) & mask) << sh) & mask
+			writes++
+			fr.pc++
+		case ir.TokLShr:
+			mask := in.W.Mask()
+			sh := val(regs, in.B) & uint64(in.W.Bits()-1)
+			regs[in.Dst] = (val(regs, in.A) & mask) >> sh
+			writes++
+			fr.pc++
+		case ir.TokAShr:
+			w := in.W
+			sh := val(regs, in.B) & w.Mask() & uint64(w.Bits()-1)
+			regs[in.Dst] = uint64(w.SignExtend(val(regs, in.A)&w.Mask())>>sh) & w.Mask()
+			writes++
+			fr.pc++
+		case ir.TokDiv:
+			mask := in.W.Mask()
+			r, trap := intDiv(in.Op, in.W, val(regs, in.A)&mask, val(regs, in.B)&mask)
+			if trap != TrapNone {
+				m.trapOut(trap)
+				goto halt
+			}
+			regs[in.Dst] = r & mask
+			writes++
+			fr.pc++
+		case ir.TokFBin:
 			a := math.Float64frombits(val(regs, in.A))
 			b := math.Float64frombits(val(regs, in.B))
 			regs[in.Dst] = math.Float64bits(floatBin(in.Op, a, b))
-
-		case ir.OpFNeg:
+			writes++
+			fr.pc++
+		case ir.TokFNeg:
 			regs[in.Dst] = math.Float64bits(-math.Float64frombits(val(regs, in.A)))
-		case ir.OpFAbs:
+			writes++
+			fr.pc++
+		case ir.TokFAbs:
 			regs[in.Dst] = math.Float64bits(math.Abs(math.Float64frombits(val(regs, in.A))))
-		case ir.OpFSqrt:
+			writes++
+			fr.pc++
+		case ir.TokFSqrt:
 			regs[in.Dst] = math.Float64bits(math.Sqrt(math.Float64frombits(val(regs, in.A))))
-
-		case ir.OpSExt:
+			writes++
+			fr.pc++
+		case ir.TokSExt:
 			regs[in.Dst] = uint64(in.W.SignExtend(val(regs, in.A) & in.W.Mask()))
-		case ir.OpZExt, ir.OpTrunc:
+			writes++
+			fr.pc++
+		case ir.TokZTrunc:
 			regs[in.Dst] = val(regs, in.A) & in.W.Mask()
-		case ir.OpSIToFP:
+			writes++
+			fr.pc++
+		case ir.TokSIToFP:
 			regs[in.Dst] = math.Float64bits(float64(in.W.SignExtend(val(regs, in.A) & in.W.Mask())))
-		case ir.OpFPToSI:
+			writes++
+			fr.pc++
+		case ir.TokFPToSI:
 			regs[in.Dst] = fpToSI(math.Float64frombits(val(regs, in.A)), in.W)
-		case ir.OpBitcast, ir.OpMov:
+			writes++
+			fr.pc++
+		case ir.TokMov:
 			regs[in.Dst] = val(regs, in.A)
-
-		case ir.OpICmpEQ:
+			writes++
+			fr.pc++
+		case ir.TokCmpEQ:
 			mask := in.W.Mask()
 			regs[in.Dst] = boolBit(val(regs, in.A)&mask == val(regs, in.B)&mask)
-		case ir.OpICmpNE:
+			writes++
+			fr.pc++
+		case ir.TokCmpNE:
 			mask := in.W.Mask()
 			regs[in.Dst] = boolBit(val(regs, in.A)&mask != val(regs, in.B)&mask)
-		case ir.OpICmpULT:
+			writes++
+			fr.pc++
+		case ir.TokCmpULT:
 			mask := in.W.Mask()
 			regs[in.Dst] = boolBit(val(regs, in.A)&mask < val(regs, in.B)&mask)
-		case ir.OpICmpULE:
+			writes++
+			fr.pc++
+		case ir.TokCmpULE:
 			mask := in.W.Mask()
 			regs[in.Dst] = boolBit(val(regs, in.A)&mask <= val(regs, in.B)&mask)
-		case ir.OpICmpSLT:
+			writes++
+			fr.pc++
+		case ir.TokCmpSLT:
 			w := in.W
 			mask := w.Mask()
 			regs[in.Dst] = boolBit(w.SignExtend(val(regs, in.A)&mask) < w.SignExtend(val(regs, in.B)&mask))
-		case ir.OpICmpSLE:
+			writes++
+			fr.pc++
+		case ir.TokCmpSLE:
 			w := in.W
 			mask := w.Mask()
 			regs[in.Dst] = boolBit(w.SignExtend(val(regs, in.A)&mask) <= w.SignExtend(val(regs, in.B)&mask))
-		case ir.OpFCmpEQ, ir.OpFCmpNE, ir.OpFCmpLT, ir.OpFCmpLE:
+			writes++
+			fr.pc++
+		case ir.TokFCmp:
 			a := math.Float64frombits(val(regs, in.A))
 			b := math.Float64frombits(val(regs, in.B))
 			regs[in.Dst] = boolBit(floatCmp(in.Op, a, b))
-
-		case ir.OpSelect:
+			writes++
+			fr.pc++
+		case ir.TokSelect:
 			if val(regs, in.A) != 0 {
 				regs[in.Dst] = val(regs, in.B)
 			} else {
 				regs[in.Dst] = val(regs, in.C)
 			}
-
-		case ir.OpLoad:
-			addr := val(regs, in.A) + uint64(in.Off)
-			v, trap := m.load(addr, in.W.Bytes())
+			writes++
+			fr.pc++
+		case ir.TokLoad:
+			v, trap := m.load(val(regs, in.A)+uint64(in.Off), in.W.Bytes())
 			if trap != TrapNone {
 				m.trapOut(trap)
-				return
+				goto halt
 			}
 			regs[in.Dst] = v
-		case ir.OpStore:
-			addr := val(regs, in.A) + uint64(in.Off)
-			if trap := m.store(addr, in.W.Bytes(), val(regs, in.B)); trap != TrapNone {
+			writes++
+			fr.pc++
+		case ir.TokStore:
+			if trap := m.store(val(regs, in.A)+uint64(in.Off), in.W.Bytes(), val(regs, in.B)); trap != TrapNone {
 				m.trapOut(trap)
-				return
+				goto halt
 			}
-		case ir.OpAlloca:
-			size := (in.Off + 7) &^ 7
-			if m.sp+int(size) > m.stack.n {
-				m.trapOut(TrapStackOverflow)
-				return
+			fr.pc++
+		case ir.TokAlloca:
+			if hAlloca(m, fr, in) != statNext {
+				goto halt
 			}
-			regs[in.Dst] = uint64(ir.StackBase + m.sp)
-			m.sp += int(size)
-			if m.sp > m.stackHW {
-				m.stackHW = m.sp
-				if m.stack.res == nil {
-					// Unbacked stacks keep flat covering the live range so
-					// loads and stores can index it directly.
-					m.stack.growFlat(m.sp)
-				}
-			}
-
-		case ir.OpBr:
+			writes++
+			fr.pc++
+		case ir.TokBr:
 			fr.pc = int(in.Off)
-			advance = false
-		case ir.OpCondBr:
+		case ir.TokCondBr:
 			if val(regs, in.A) != 0 {
 				fr.pc = int(in.Off)
-				advance = false
+			} else {
+				fr.pc++
 			}
-
-		case ir.OpCall:
-			if len(m.frames) >= m.maxDepth {
-				m.trapOut(TrapStackOverflow)
-				return
+		case ir.TokCall:
+			if hCall(m, fr, in) != statFrame {
+				goto halt
 			}
-			var argbuf [8]uint64
-			args := argbuf[:0]
-			for _, a := range in.Args {
-				args = append(args, val(regs, a))
-			}
-			fr.pc++ // resume after the call
-			m.pushFrame(int(in.Off), args, in.Dst, in.HasDst())
-			// The call's destination is written when the callee returns;
-			// it becomes an inject-on-write candidate at OpRet.
 			fr = &m.frames[len(m.frames)-1]
-			advance = false
-
-		case ir.OpRet:
-			retVal := uint64(0)
-			hasVal := !in.A.IsNone()
-			if hasVal {
-				retVal = val(regs, in.A)
+		case ir.TokRet:
+			switch hRet(m, fr, in) {
+			case statRet:
+				fr = &m.frames[len(m.frames)-1]
+			case statRetWrote:
+				fr = &m.frames[len(m.frames)-1]
+				writes++
+			default: // statHalt: main returned
+				goto halt
 			}
-			m.sp = fr.savedSP
-			m.regTop = fr.regBase
-			retDst, hasRet := fr.retDst, fr.hasRet
-			m.frames = m.frames[:len(m.frames)-1]
-			if len(m.frames) == 0 {
-				m.stop = StopReturned
-				return
+		case ir.TokOut:
+			if hOut(m, fr, in) != statNext {
+				goto halt
 			}
-			caller := &m.frames[len(m.frames)-1]
-			if hasRet {
-				caller.regs[retDst] = retVal
-			}
-			fr = caller
-			advance = false
-			// The caller's Call instruction wrote its destination now;
-			// treat the return as that write for injection purposes.
-			if hasRet {
-				m.writes++
-				if m.injWrite {
-					m.maybeInjectWrite(di, ir.W64, caller.regs, retDst)
-				}
-			}
-
-		case ir.OpOut:
-			v := val(regs, in.A) & in.W.Mask()
-			n := in.W.Bytes()
-			for i := 0; i < n; i++ {
-				m.out = append(m.out, byte(v>>(8*uint(i))))
-			}
-			if len(m.out) > m.maxOut {
-				m.stop = StopOutputLimit
-				return
-			}
-		case ir.OpAbort:
-			m.trapOut(TrapAbort)
-			return
-		default:
-			m.trapOut(TrapAbort)
-			return
-		}
-
-		// Inject-on-write: corrupt the destination register just after the
-		// instruction writes it. Calls are handled at their matching Ret.
-		if in.HasDst() && in.Op != ir.OpCall {
-			m.writes++
-			if m.injWrite {
-				m.maybeInjectWrite(di, ir.DestWidth(in), regs, in.Dst)
-			}
-		}
-
-		if advance {
 			fr.pc++
+		default: // TokAbort, TokInvalid (unvalidated program)
+			m.trapOut(TrapAbort)
+			goto halt
 		}
 	}
+	m.dyn, m.readSlots, m.writes = dyn, readSlots, writes
+	return fr
+halt:
+	m.dyn, m.readSlots, m.writes = dyn, readSlots, writes
+	return nil
+}
+
+// step executes a single instruction with the per-instruction observers
+// armed: inject-on-read before the instruction consumes its operands,
+// role tallies, and inject-on-write after the destination is written. It
+// returns the frame holding control afterwards, or nil when the run
+// stopped. Events (hang, snapshot, memory flips) are the outer loop's
+// job.
+func (m *machine) step(fr *frame) *frame {
+	di := m.dyn
+	m.dyn++
+	in := &fr.code[fr.pc]
+	nr := int(in.NR)
+
+	// Inject-on-read: corrupt a source register just before the
+	// instruction consumes it.
+	if m.injRead {
+		m.maybeInjectRead(di, in, fr.regs, nr)
+	}
+	m.readSlots += uint64(nr)
+	if m.countRoles {
+		for s := 0; s < nr; s++ {
+			m.readRoles[ir.ReadSlotRole(in, s)]++
+		}
+		if in.DW != 0 {
+			m.writeRoles[ir.DestRole(in)]++
+		} else if in.Op == ir.OpRet && fr.hasRet {
+			m.writeRoles[ir.RoleOther]++ // the caller's call result
+		}
+	}
+
+	switch handlers[in.Tok](m, fr, in) {
+	case statNext:
+		// Inject-on-write: corrupt the destination register just after
+		// the instruction writes it. Calls are handled at their matching
+		// Ret.
+		if in.DW != 0 {
+			m.writes++
+			if m.injWrite {
+				m.maybeInjectWrite(di, ir.DestWidth(in), fr.regs, in.Dst)
+			}
+		}
+		fr.pc++
+	case statJump:
+	case statFrame, statRet:
+		fr = &m.frames[len(m.frames)-1]
+	case statRetWrote:
+		// The caller's Call instruction wrote its destination now; treat
+		// the return as that write for injection purposes.
+		fr = &m.frames[len(m.frames)-1]
+		m.writes++
+		if m.injWrite {
+			m.maybeInjectWrite(di, ir.W64, fr.regs, m.retDst)
+		}
+	default: // statHalt
+		return nil
+	}
+	return fr
 }
 
 // boolBit converts a bool to 0/1.
@@ -726,21 +945,6 @@ func boolBit(b bool) uint64 {
 		return 1
 	}
 	return 0
-}
-
-// intShift evaluates the shift ops on width-masked inputs; the shift
-// amount wraps at the operand width, as on x86.
-func intShift(op ir.Op, w ir.Width, a, b uint64) uint64 {
-	sh := b & uint64(w.Bits()-1)
-	switch op {
-	case ir.OpShl:
-		return a << sh
-	case ir.OpLShr:
-		return a >> sh
-	case ir.OpAShr:
-		return uint64(w.SignExtend(a) >> sh)
-	}
-	panic("vm: intShift bad op")
 }
 
 // intDiv evaluates division/remainder, reporting arithmetic traps.
