@@ -277,20 +277,29 @@ func benchVMGoldenRun(b *testing.B, noFuse bool) {
 }
 
 // BenchmarkCampaignSnapshot measures one Table I campaign (qsort,
-// inject-on-read, single-bit) with golden-run snapshot fast-forwarding,
-// against the full-replay baseline below. The differential tests guarantee
-// both produce bit-identical results; the delta here is pure wall-clock.
+// inject-on-read, single-bit) with golden-run snapshot fast-forwarding
+// and convergence-gated early termination, against the baselines below.
+// The differential tests guarantee all variants produce bit-identical
+// results; the deltas here are pure wall-clock.
 func BenchmarkCampaignSnapshot(b *testing.B) {
-	benchCampaignSnapshot(b, false)
+	benchCampaignSnapshot(b, false, false)
 }
 
 // BenchmarkCampaignNoSnapshot is the full-replay baseline for
 // BenchmarkCampaignSnapshot.
 func BenchmarkCampaignNoSnapshot(b *testing.B) {
-	benchCampaignSnapshot(b, true)
+	benchCampaignSnapshot(b, true, false)
 }
 
-func benchCampaignSnapshot(b *testing.B, noSnapshots bool) {
+// BenchmarkCampaignNoConverge is the convergence/memo ablation: snapshot
+// fast-forwarding stays on, but every experiment runs its post-injection
+// tail to completion. The delta against BenchmarkCampaignSnapshot
+// isolates the early-termination win.
+func BenchmarkCampaignNoConverge(b *testing.B) {
+	benchCampaignSnapshot(b, false, true)
+}
+
+func benchCampaignSnapshot(b *testing.B, noSnapshots, noConverge bool) {
 	bench, err := prog.ByName("qsort")
 	if err != nil {
 		b.Fatal(err)
@@ -313,6 +322,7 @@ func benchCampaignSnapshot(b *testing.B, noSnapshots bool) {
 			N:           perIter,
 			Seed:        uint64(i),
 			NoSnapshots: noSnapshots,
+			NoConverge:  noConverge,
 		}); err != nil {
 			b.Fatal(err)
 		}
@@ -344,6 +354,86 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 			Config:    core.Config{MaxMBF: 3, Win: core.Win(10)},
 			N:         perIter,
 			Seed:      uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(perIter)*float64(b.N)/b.Elapsed().Seconds(), "experiments/s")
+}
+
+// buildImageProg builds an image-like workload over a large global
+// segment (words 64-bit words, ≥1 MiB for the large-globals benchmarks):
+// pass 1 fills the "image" from a cheap PRNG recurrence, pass 2 applies a
+// neighbour-mixing filter in place, and a sparse checksum pass emits the
+// output. Stores sweep the whole segment, so golden-run capture, CoW
+// resume and convergence hashing all operate at real image scale.
+func buildImageProg(words int) (*ir.Program, error) {
+	mb := ir.NewModule(fmt.Sprintf("image-%dKiB", words*8/1024))
+	base := mb.GlobalZero(8 * words)
+	f := mb.Func("main", 0)
+	// Pass 1: fill.
+	f.For(ir.C(0), ir.C(uint64(words)), func(i ir.Reg) {
+		v := f.BinW(ir.W64, ir.OpMul, i, ir.C(0x9e3779b97f4a7c15))
+		v = f.BinW(ir.W64, ir.OpXor, v, f.BinW(ir.W64, ir.OpLShr, v, ir.C(29)))
+		addr := f.BinW(ir.W64, ir.OpAdd, ir.C(base), f.BinW(ir.W64, ir.OpMul, i, ir.C(8)))
+		f.Store64(addr, v, 0)
+	})
+	// Pass 2: neighbour mix (a 1-D blur stand-in).
+	f.For(ir.C(1), ir.C(uint64(words-1)), func(i ir.Reg) {
+		addr := f.BinW(ir.W64, ir.OpAdd, ir.C(base), f.BinW(ir.W64, ir.OpMul, i, ir.C(8)))
+		left := f.Load64(addr, -8)
+		mid := f.Load64(addr, 0)
+		right := f.Load64(addr, 8)
+		mixed := f.BinW(ir.W64, ir.OpAdd, f.BinW(ir.W64, ir.OpAdd, left, right), mid)
+		f.Store64(addr, mixed, 0)
+	})
+	// Checksum: sample every 64th word.
+	acc := f.Let(ir.C(0))
+	f.For(ir.C(0), ir.C(uint64(words/64)), func(i ir.Reg) {
+		addr := f.BinW(ir.W64, ir.OpAdd, ir.C(base), f.BinW(ir.W64, ir.OpMul, i, ir.C(512)))
+		f.Mov(acc, f.BinW(ir.W64, ir.OpXor, acc, f.Load64(addr, 0)))
+	})
+	f.Out64(acc)
+	f.RetVoid()
+	return mb.Build()
+}
+
+// BenchmarkCampaignLargeGlobals runs a register campaign over an
+// image-scale workload (1 MiB of globals): snapshots restore
+// copy-on-write, and the convergence tier hashes only each interval's
+// write set — this is the configuration the page-granular design exists
+// for. BenchmarkCampaignLargeGlobalsNoConverge is its early-termination
+// ablation.
+func BenchmarkCampaignLargeGlobals(b *testing.B) {
+	benchCampaignLargeGlobals(b, false)
+}
+
+// BenchmarkCampaignLargeGlobalsNoConverge is the convergence/memo
+// ablation for BenchmarkCampaignLargeGlobals.
+func BenchmarkCampaignLargeGlobalsNoConverge(b *testing.B) {
+	benchCampaignLargeGlobals(b, true)
+}
+
+func benchCampaignLargeGlobals(b *testing.B, noConverge bool) {
+	const words = 1 << 17 // 1 MiB of globals
+	p, err := buildImageProg(words)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := core.NewTargetOpts("image-1MiB", p, core.TargetOptions{NoConverge: noConverge})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const perIter = 24
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunCampaign(core.CampaignSpec{
+			Target:     target,
+			Technique:  core.InjectOnRead,
+			Config:     core.SingleBit(),
+			N:          perIter,
+			Seed:       uint64(i),
+			NoConverge: noConverge,
 		}); err != nil {
 			b.Fatal(err)
 		}

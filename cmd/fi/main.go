@@ -33,15 +33,16 @@ func main() {
 		hang     = flag.Uint64("hang", core.DefaultHangFactor, "hang budget as a multiple of the fault-free dynamic instruction count")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		nosnap   = flag.Bool("nosnap", false, "disable golden-run snapshot fast-forwarding (full prefix replay)")
+		noconv   = flag.Bool("noconverge", false, "disable convergence-gated early termination and the fault-equivalence memo")
 	)
 	flag.Parse()
-	if err := run(*progName, *tech, *mbf, *win, *n, *seed, *hang, *workers, *nosnap); err != nil {
+	if err := run(*progName, *tech, *mbf, *win, *n, *seed, *hang, *workers, *nosnap, *noconv); err != nil {
 		fmt.Fprintln(os.Stderr, "fi:", err)
 		os.Exit(1)
 	}
 }
 
-func run(progName, techName string, mbf int, winSpec string, n int, seed, hang uint64, workers int, nosnap bool) error {
+func run(progName, techName string, mbf int, winSpec string, n int, seed, hang uint64, workers int, nosnap, noconv bool) error {
 	b, err := prog.ByName(progName)
 	if err != nil {
 		return err
@@ -50,7 +51,7 @@ func run(progName, techName string, mbf int, winSpec string, n int, seed, hang u
 	if err != nil {
 		return err
 	}
-	target, err := core.NewTarget(progName, p)
+	target, err := core.NewTargetOpts(progName, p, core.TargetOptions{NoConverge: noconv})
 	if err != nil {
 		return err
 	}
@@ -77,6 +78,7 @@ func run(progName, techName string, mbf int, winSpec string, n int, seed, hang u
 		HangFactor:  hang,
 		Workers:     workers,
 		NoSnapshots: nosnap,
+		NoConverge:  noconv,
 	})
 	if err != nil {
 		return err
@@ -96,7 +98,8 @@ func run(progName, techName string, mbf int, winSpec string, n int, seed, hang u
 	t.AddRow("Detection", "", stats.FormatPct(res.DetectionPct()), "")
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("error resilience: %.3f", res.Resilience()),
-		fmt.Sprintf("mean activated errors per experiment: %.2f", float64(res.ActivatedTotal)/float64(res.N())))
+		fmt.Sprintf("mean activated errors per experiment: %.2f", float64(res.ActivatedTotal)/float64(res.N())),
+		fmt.Sprintf("early exits: %d converged with the golden run, %d fault-equivalence memo hits", res.Converged, res.MemoHits))
 	return t.Render(os.Stdout)
 }
 

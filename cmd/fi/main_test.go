@@ -43,10 +43,10 @@ func TestParseWin(t *testing.T) {
 }
 
 func TestRunRejectsUnknowns(t *testing.T) {
-	if err := run("no-such-prog", "read", 1, "0", 10, 1, 10, 1, false); err == nil {
+	if err := run("no-such-prog", "read", 1, "0", 10, 1, 10, 1, false, false); err == nil {
 		t.Error("unknown program accepted")
 	}
-	if err := run("CRC32", "sideways", 1, "0", 10, 1, 10, 1, false); err == nil {
+	if err := run("CRC32", "sideways", 1, "0", 10, 1, 10, 1, false, false); err == nil {
 		t.Error("unknown technique accepted")
 	}
 }

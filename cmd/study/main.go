@@ -37,6 +37,7 @@ func main() {
 		memfaults   = flag.Bool("memfault", true, "run the memory-word multi-bit fault extension (paper future work)")
 		workers     = flag.Int("workers", 0, "parallel workers per campaign (0 = GOMAXPROCS)")
 		nosnap      = flag.Bool("nosnap", false, "disable golden-run snapshot fast-forwarding (full prefix replay)")
+		noconverge  = flag.Bool("noconverge", false, "disable convergence-gated early termination and the fault-equivalence memo")
 		out         = flag.String("o", "", "output file (empty = stdout)")
 		csvDir      = flag.String("csv", "", "also write each table as CSV into this directory")
 		composition = flag.Bool("composition", false, "only run single-bit campaigns and print the candidate-composition tables")
@@ -47,7 +48,8 @@ func main() {
 		n: *n, seed: *seed, progs: *progs, quick: *quick,
 		transitions: *transitions, ablations: *ablations, memfaults: *memfaults,
 		composition: *composition,
-		workers:     *workers, nosnap: *nosnap, out: *out, csvDir: *csvDir, verbose: *verbose,
+		workers:     *workers, nosnap: *nosnap, noconverge: *noconverge,
+		out: *out, csvDir: *csvDir, verbose: *verbose,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "study:", err)
 		os.Exit(1)
@@ -66,6 +68,7 @@ type params struct {
 	composition bool
 	workers     int
 	nosnap      bool
+	noconverge  bool
 	out         string
 	csvDir      string
 	verbose     bool
@@ -100,6 +103,7 @@ func runTo(w io.Writer, p params) error {
 		Seed:        seed,
 		Workers:     p.workers,
 		NoSnapshots: p.nosnap,
+		NoConverge:  p.noconverge,
 	}
 	if p.progs != "" {
 		// Tolerate spaces around the commas: "CRC32, basicmath" names the

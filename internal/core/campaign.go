@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -87,6 +88,14 @@ type CampaignSpec struct {
 	// differential tests enforce it); the knob exists for that comparison
 	// and for the CI dispatch ablation.
 	NoFusion bool
+	// NoConverge disables convergence-gated early termination and the
+	// fault-equivalence memo for this campaign: every experiment runs to
+	// completion even after its state reconverges with the golden run.
+	// Results are bit-identical either way (the convergence differential
+	// tests enforce it); the knob exists for that comparison and for the
+	// CI convergence ablation (MULTIFLIP_NOCONVERGE disables both
+	// process-wide).
+	NoConverge bool
 	// Pins, when non-empty, forces experiment i's first injection to
 	// Pins[i] and sets N = len(Pins).
 	Pins []Pin
@@ -129,9 +138,40 @@ type CampaignResult struct {
 	TrapCounts [NumTrapKinds]int
 	// ActivatedTotal sums activated errors over all experiments.
 	ActivatedTotal int
+	// Converged counts experiments the VM terminated early because their
+	// injected state reconverged with the golden run. Deterministic per
+	// campaign (each experiment converges on its own).
+	Converged int
+	// MemoHits counts experiments resolved from the fault-equivalence
+	// memo: their post-injection state matched an already-executed
+	// experiment's, so the recorded outcome was reused. The count depends
+	// on worker scheduling (which equivalent experiment runs first);
+	// outcomes never do.
+	MemoHits int
 	// Experiments holds per-experiment records when Spec.Record is set.
 	Experiments []Experiment
 }
+
+// memoVal is the fault-equivalence memo's payload: the outcome of the
+// continuation from a post-injection state. Activation counts and first
+// locations stay per-experiment — they are fixed before the memo key is
+// computed.
+type memoVal struct {
+	outcome Outcome
+	trap    vm.TrapKind
+}
+
+// expStats reports how an experiment terminated, for the campaign's
+// early-exit accounting.
+type expStats struct {
+	converged bool
+	memoHit   bool
+}
+
+// experimentHook, when non-nil, is called with each claimed experiment
+// index before it runs. Test seam: the error-propagation tests use it to
+// hold workers at a barrier so several fail concurrently.
+var experimentHook func(idx int)
 
 // RunCampaign executes the campaign. Experiments run in parallel but the
 // result is identical for any worker count: every experiment derives its
@@ -154,11 +194,14 @@ func RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
 
 	exps := make([]Experiment, n)
 	var (
-		next     atomic.Int64
-		failed   atomic.Bool
-		wg       sync.WaitGroup
-		firstMu  sync.Mutex
-		firstErr error
+		next      atomic.Int64
+		failed    atomic.Bool
+		wg        sync.WaitGroup
+		errMu     sync.Mutex
+		errs      []error
+		memo      sync.Map
+		converged atomic.Int64
+		memoHits  atomic.Int64
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -173,30 +216,44 @@ func RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
 				if i >= n {
 					return
 				}
+				if h := experimentHook; h != nil {
+					h(i)
+				}
 				var pin *Pin
 				if len(spec.Pins) > 0 {
 					pin = &spec.Pins[i]
 				}
-				exp, err := runOne(&spec, uint64(i), pin)
+				exp, st, err := runOne(&spec, uint64(i), pin, &memo)
 				if err != nil {
-					firstMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					firstMu.Unlock()
+					// Every worker's failure is collected: a grid-wide abort
+					// with several concurrent causes surfaces all of them
+					// (errors.Join), not just whichever lost the race.
+					errMu.Lock()
+					errs = append(errs, err)
+					errMu.Unlock()
 					failed.Store(true)
 					return
+				}
+				if st.converged {
+					converged.Add(1)
+				}
+				if st.memoHit {
+					memoHits.Add(1)
 				}
 				exps[i] = exp
 			}
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 
-	res := &CampaignResult{Spec: spec}
+	res := &CampaignResult{
+		Spec:      spec,
+		Converged: int(converged.Load()),
+		MemoHits:  int(memoHits.Load()),
+	}
 	for i := range exps {
 		e := &exps[i]
 		res.Add(e.Outcome)
@@ -219,7 +276,7 @@ func RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
 }
 
 // runOne performs experiment idx of the campaign.
-func runOne(spec *CampaignSpec, idx uint64, pin *Pin) (Experiment, error) {
+func runOne(spec *CampaignSpec, idx uint64, pin *Pin, memo *sync.Map) (Experiment, expStats, error) {
 	t := spec.Target
 	rng := xrand.ForExperiment(spec.Seed, idx)
 
@@ -260,6 +317,31 @@ func runOne(spec *CampaignSpec, idx uint64, pin *Pin) (Experiment, error) {
 	if !spec.NoSnapshots {
 		resume = t.SnapshotBefore(spec.Technique, cand)
 	}
+	// Convergence-gated early termination plus the fault-equivalence memo:
+	// the VM compares the post-injection state against the golden trace
+	// (terminating with the golden outcome on reconvergence) and hands us
+	// its state key at the first divergent boundary, so experiments that
+	// collapse to an already-seen injected state reuse the recorded
+	// outcome instead of re-executing.
+	trace := t.Trace
+	if spec.NoConverge {
+		trace = nil
+	}
+	var (
+		hit   memoVal
+		hitOK bool
+	)
+	var memoCheck func(vm.StateKey) bool
+	if trace != nil {
+		memoCheck = func(k vm.StateKey) bool {
+			if v, ok := memo.Load(k); ok {
+				hit = v.(memoVal)
+				hitOK = true
+				return true
+			}
+			return false
+		}
+	}
 	res, err := vm.Run(t.Prog, vm.Options{
 		MaxDyn:      hangFactor*t.GoldenDyn + 1000,
 		MaxOutput:   4*len(t.Golden) + 4096,
@@ -267,19 +349,36 @@ func runOne(spec *CampaignSpec, idx uint64, pin *Pin) (Experiment, error) {
 		Plan:        plan,
 		Resume:      resume,
 		NoFuse:      spec.NoFusion,
+		Trace:       trace,
+		MemoCheck:   memoCheck,
 	})
 	if err != nil {
-		return Experiment{}, fmt.Errorf("core: %s experiment %d: %w", t.Name, idx, err)
+		return Experiment{}, expStats{}, fmt.Errorf("core: %s experiment %d: %w", t.Name, idx, err)
 	}
+	var st expStats
+	var outcome Outcome
 	trap := vm.TrapNone
-	if res.Stop == vm.StopTrap {
-		trap = res.Trap
+	if res.Stop == vm.StopMemo && hitOK {
+		// The first injection and activation count are this experiment's
+		// own (fixed before the key was computed); only the continuation's
+		// outcome is reused.
+		outcome, trap = hit.outcome, hit.trap
+		st.memoHit = true
+	} else {
+		if res.Stop == vm.StopTrap {
+			trap = res.Trap
+		}
+		outcome = t.Classify(res)
+		st.converged = res.Converged
+		if res.PostKeyed {
+			memo.Store(res.PostKey, memoVal{outcome: outcome, trap: trap})
+		}
 	}
 	return Experiment{
 		Cand:      cand,
 		Bit:       res.FirstBit,
-		Outcome:   t.Classify(res),
+		Outcome:   outcome,
 		Trap:      trap,
 		Activated: res.Injected,
-	}, nil
+	}, st, nil
 }

@@ -1,0 +1,237 @@
+package core_test
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"multiflip/internal/core"
+	"multiflip/internal/prog"
+)
+
+// convergeOn reports whether the process-wide convergence kill switch is
+// inactive; "early exits fire" assertions only hold then.
+func convergeOn() bool { return os.Getenv("MULTIFLIP_NOCONVERGE") == "" }
+
+// TestCampaignConvergeDifferential enforces the tentpole invariant at the
+// campaign level: for every workload, both techniques and the single- and
+// multi-bit models, a campaign with convergence-gated early termination
+// and fault-equivalence memoization produces experiment records
+// bit-identical to one with both disabled — and the early exits actually
+// fire somewhere across the grid.
+func TestCampaignConvergeDifferential(t *testing.T) {
+	const (
+		n    = 40
+		seed = 4242
+	)
+	configs := []core.Config{
+		core.SingleBit(),
+		{MaxMBF: 3, Win: core.Win(10)},
+	}
+	earlyExits := 0
+	for _, bench := range prog.All() {
+		p, err := bench.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", bench.Name, err)
+		}
+		target, err := core.NewTarget(bench.Name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if target.Trace == nil {
+			t.Fatalf("%s: target has no golden trace", bench.Name)
+		}
+		off, err := core.NewTargetOpts(bench.Name, p, core.TargetOptions{NoConverge: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.Trace != nil {
+			t.Fatalf("%s: NoConverge target recorded a trace", bench.Name)
+		}
+		for _, tech := range core.Techniques() {
+			for _, cfg := range configs {
+				spec := core.CampaignSpec{
+					Target:    target,
+					Technique: tech,
+					Config:    cfg,
+					N:         n,
+					Seed:      seed,
+					Record:    true,
+				}
+				fast, err := core.RunCampaign(spec)
+				if err != nil {
+					t.Fatalf("%s %s %s: %v", bench.Name, tech, cfg, err)
+				}
+				spec.Target = off
+				spec.NoConverge = true
+				slow, err := core.RunCampaign(spec)
+				if err != nil {
+					t.Fatalf("%s %s %s (noconverge): %v", bench.Name, tech, cfg, err)
+				}
+				if slow.Converged != 0 || slow.MemoHits != 0 {
+					t.Fatalf("%s %s %s: NoConverge campaign reported early exits", bench.Name, tech, cfg)
+				}
+				earlyExits += fast.Converged + fast.MemoHits
+				if !reflect.DeepEqual(fast.Experiments, slow.Experiments) {
+					t.Errorf("%s %s %s: experiments diverge between converge and no-converge campaigns",
+						bench.Name, tech, cfg)
+					continue
+				}
+				if fast.Counts != slow.Counts || fast.TrapCounts != slow.TrapCounts ||
+					fast.CrashActivated != slow.CrashActivated ||
+					fast.ActivatedTotal != slow.ActivatedTotal {
+					t.Errorf("%s %s %s: aggregates diverge between converge and no-converge campaigns",
+						bench.Name, tech, cfg)
+				}
+			}
+		}
+	}
+	if earlyExits == 0 && convergeOn() {
+		t.Error("no experiment across the grid converged or hit the memo; the early-exit tier never fires")
+	}
+}
+
+// TestCampaignMemoHit pins the fault-equivalence memo: two experiments
+// pinned to the same first-injection location collapse to the same
+// post-injection state, so the second reuses the first's recorded outcome
+// (Workers=1 makes the order deterministic) and the records stay
+// bit-identical to a memo-less campaign.
+func TestCampaignMemoHit(t *testing.T) {
+	bench, err := prog.ByName("CRC32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := bench.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := core.NewTarget(bench.Name, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an SDC location: its post-injection state diverges from golden,
+	// so the memo (not convergence) resolves the duplicate.
+	probe, err := core.RunCampaign(core.CampaignSpec{
+		Target:    target,
+		Technique: core.InjectOnWrite,
+		Config:    core.SingleBit(),
+		N:         60,
+		Seed:      7,
+		Record:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pin core.Pin
+	found := false
+	for _, e := range probe.Experiments {
+		if e.Outcome == core.OutcomeSDC {
+			pin = core.Pin{Cand: e.Cand, Bit: e.Bit}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no SDC experiment in the probe campaign")
+	}
+	spec := core.CampaignSpec{
+		Target:    target,
+		Technique: core.InjectOnWrite,
+		Config:    core.SingleBit(),
+		Seed:      8,
+		Workers:   1,
+		Record:    true,
+		Pins:      []core.Pin{pin, pin},
+	}
+	res, err := core.RunCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemoHits != 1 && convergeOn() {
+		t.Errorf("pinned duplicate campaign reported %d memo hits, want 1", res.MemoHits)
+	}
+	if !reflect.DeepEqual(res.Experiments[0], res.Experiments[1]) {
+		t.Errorf("memoized experiment diverges from its twin: %+v vs %+v",
+			res.Experiments[0], res.Experiments[1])
+	}
+	spec.NoConverge = true
+	slow, err := core.RunCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Experiments, slow.Experiments) {
+		t.Error("memoized experiments diverge from the no-converge rerun")
+	}
+}
+
+// brokenTarget returns a target whose snapshots belong to a different
+// program, so every fast-forwarded experiment fails inside vm.Run.
+func brokenTarget(t *testing.T) *core.Target {
+	t.Helper()
+	a, err := prog.ByName("CRC32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := core.NewTarget("CRC32", pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := prog.ByName("qsort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := core.NewTarget("qsort", pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta.Snapshots = tb.Snapshots
+	ta.Trace = nil
+	return ta
+}
+
+// TestCampaignJoinsConcurrentErrors checks the errors.Join propagation: a
+// barrier in the experiment hook holds both workers until each has
+// claimed an experiment, both fail, and both failures surface in the
+// returned error instead of just whichever lost the race.
+func TestCampaignJoinsConcurrentErrors(t *testing.T) {
+	target := brokenTarget(t)
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	restore := core.SetExperimentHook(func(idx int) {
+		// Both workers must claim before either is allowed to fail, so the
+		// failed flag cannot stop the second claim.
+		barrier.Done()
+		barrier.Wait()
+	})
+	defer restore()
+	_, err := core.RunCampaign(core.CampaignSpec{
+		Target:    target,
+		Technique: core.InjectOnRead,
+		Config:    core.SingleBit(),
+		N:         2,
+		Seed:      1,
+		Workers:   2,
+	})
+	if err == nil {
+		t.Fatal("campaign on a broken target succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "experiment 0") || !strings.Contains(msg, "experiment 1") {
+		t.Errorf("joined error misses a worker's failure: %v", err)
+	}
+	var many interface{ Unwrap() []error }
+	if !errors.As(err, &many) || len(many.Unwrap()) != 2 {
+		t.Errorf("want a 2-error join, got %v", err)
+	}
+}

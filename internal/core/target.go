@@ -38,6 +38,12 @@ type Target struct {
 	// fault-free prefix. Empty when the target was prepared with
 	// TargetOptions.NoSnapshots.
 	Snapshots []*vm.Snapshot
+	// Trace is the golden run's state-hash trace: experiments carry it so
+	// the VM can terminate them early once their injected state
+	// reconverges with the golden run, and so campaigns can memoize
+	// outcomes by post-injection state. Nil when the target was prepared
+	// with NoSnapshots or NoConverge.
+	Trace *vm.GoldenTrace
 }
 
 // DefaultSnapshotInterval is the golden-run checkpoint spacing in dynamic
@@ -69,6 +75,11 @@ type TargetOptions struct {
 	// is bit-identical either way; the knob supports the fusion
 	// differential tests.
 	NoFusion bool
+	// NoConverge skips recording the golden state-hash trace, so every
+	// campaign on this target runs its experiments to completion. Results
+	// are bit-identical either way (the convergence differential tests
+	// enforce it).
+	NoConverge bool
 }
 
 // NewTarget profiles p fault-free, recording golden-run snapshots at the
@@ -89,6 +100,8 @@ func NewTargetOpts(name string, p *ir.Program, opts TargetOptions) (*Target, err
 		if vopts.MaxSnapshots == 0 {
 			vopts.MaxSnapshots = DefaultTargetMaxSnapshots
 		}
+		// The golden trace piggybacks on the checkpoint pass.
+		vopts.RecordTrace = !opts.NoConverge
 	}
 	prof, err := vm.ProfileWith(p, vopts)
 	if err != nil {
@@ -107,6 +120,7 @@ func NewTargetOpts(name string, p *ir.Program, opts TargetOptions) (*Target, err
 		ReadRoles:  prof.ReadRoles,
 		WriteRoles: prof.WriteRoles,
 		Snapshots:  prof.Snapshots,
+		Trace:      prof.Trace,
 	}, nil
 }
 
@@ -167,6 +181,10 @@ func (t *Target) Candidates(tech Technique) uint64 {
 //   - normal termination with no output is NoOutput;
 //   - normal termination with golden output is Benign;
 //   - normal termination with different output is an SDC.
+//
+// Convergence-terminated runs (res.Converged) pass through unchanged:
+// they report the golden stop reason and output, so they classify as the
+// full run would — Benign, since the golden run returns its own output.
 func (t *Target) Classify(res *vm.Result) Outcome {
 	switch res.Stop {
 	case vm.StopTrap:

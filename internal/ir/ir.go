@@ -35,23 +35,24 @@ const (
 
 // Bits returns the number of bits in the width.
 func (w Width) Bits() int {
-	switch w {
-	case W1:
+	// W8..W64 are 1..4, so their bit counts are 8 << (w-1); the branchless
+	// form keeps this hot interpreter helper out of the profile.
+	if n := uint(w) - 1; n < 4 {
+		return 8 << n
+	}
+	if w == W1 {
 		return 1
-	case W8:
-		return 8
-	case W16:
-		return 16
-	case W32:
-		return 32
-	case W64:
-		return 64
 	}
 	return 0
 }
 
 // Bytes returns the number of bytes in the width.
-func (w Width) Bytes() int { return w.Bits() / 8 }
+func (w Width) Bytes() int {
+	if n := uint(w) - 1; n < 4 {
+		return 1 << n
+	}
+	return w.Bits() / 8
+}
 
 // Mask returns a mask covering the low Bits() bits.
 func (w Width) Mask() uint64 {

@@ -69,12 +69,15 @@ const (
 	// Specialized tokens: operand kinds and widths resolved at validation
 	// time, so the handlers skip the imm/reg tests and width masking the
 	// generic handlers pay per execution.
-	TokAdd64RR // add.64 dst, reg, reg — address arithmetic
-	TokAdd64RI // add.64 dst, reg, imm — address/induction arithmetic
-	TokXor64RR // xor.64 dst, reg, reg
-	TokLoadR   // load with a register address operand
-	TokStoreRR // store with register address and register value
-	TokMovR    // mov/bitcast from a register
+	TokAdd64RR    // add.64 dst, reg, reg — address arithmetic
+	TokAdd64RI    // add.64 dst, reg, imm — address/induction arithmetic
+	TokAdd32RR    // add.32 dst, reg, reg — index arithmetic
+	TokAdd32RI    // add.32 dst, reg, imm — index/induction arithmetic
+	TokXor64RR    // xor.64 dst, reg, reg
+	TokCmpSLT32RR // icmp.slt.32 dst, reg, reg — loop/compare bounds
+	TokLoadR      // load with a register address operand
+	TokStoreRR    // store with register address and register value
+	TokMovR       // mov/bitcast from a register
 
 	// NumTokens sizes token-indexed tables.
 	NumTokens
@@ -105,6 +108,10 @@ const (
 	FuseAddLoad
 	// FuseAddStore is add.64 feeding the address of the next store.
 	FuseAddStore
+	// FuseMulAdd is mul.64 feeding an operand of the next add.64 — the
+	// address-scaling idiom (base + index*size) that profiling showed as
+	// the hottest annotation-only pair shape.
+	FuseMulAdd
 	// FuseCmpEQBr .. FuseCmpSLEBr are an integer compare followed by a
 	// conditional branch on the compare's destination register.
 	FuseCmpEQBr
@@ -132,6 +139,14 @@ func tokenOf(in *Instr) Token {
 			}
 			if in.B.IsImm() {
 				return TokAdd64RI
+			}
+		}
+		if in.W == W32 && in.A.IsReg() {
+			if in.B.IsReg() {
+				return TokAdd32RR
+			}
+			if in.B.IsImm() {
+				return TokAdd32RI
 			}
 		}
 		return TokAdd
@@ -186,6 +201,9 @@ func tokenOf(in *Instr) Token {
 	case OpICmpULE:
 		return TokCmpULE
 	case OpICmpSLT:
+		if in.W == W32 && in.A.IsReg() && in.B.IsReg() {
+			return TokCmpSLT32RR
+		}
 		return TokCmpSLT
 	case OpICmpSLE:
 		return TokCmpSLE
@@ -275,6 +293,12 @@ func fuseKind(a, b *Instr) FuseKind {
 		}
 		if b.Op == OpStore && b.A.IsReg() && b.A.reg == a.Dst {
 			return FuseAddStore
+		}
+	}
+	// mul.64 feeding an operand of the next add.64 (address scaling).
+	if a.Op == OpMul && a.W == W64 && a.Dst != NoReg && b.Op == OpAdd && b.W == W64 {
+		if (b.A.IsReg() && b.A.reg == a.Dst) || (b.B.IsReg() && b.B.reg == a.Dst) {
+			return FuseMulAdd
 		}
 	}
 	// Register move + anything: the mov executes inline ahead of its

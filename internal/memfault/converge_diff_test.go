@@ -1,0 +1,122 @@
+package memfault_test
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"multiflip/internal/core"
+	"multiflip/internal/memfault"
+	"multiflip/internal/prog"
+)
+
+// TestMemFaultConvergeDifferential checks memory-fault campaigns are
+// invariant under convergence-gated early termination and memoization:
+// corrupted words that are overwritten before being read reconverge with
+// the golden run, and the outcome mix is bit-identical either way.
+func TestMemFaultConvergeDifferential(t *testing.T) {
+	earlyExits := 0
+	for _, name := range []string{"CRC32", "sha", "histo", "qsort"} {
+		bench, err := prog.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := bench.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		target, err := core.NewTarget(name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bits := range []int{1, 3, 8} {
+			spec := memfault.Spec{
+				Target: target,
+				Bits:   bits,
+				N:      50,
+				Seed:   11,
+				Record: true,
+			}
+			fast, err := memfault.Run(spec)
+			if err != nil {
+				t.Fatalf("%s bits=%d: %v", name, bits, err)
+			}
+			spec.NoConverge = true
+			slow, err := memfault.Run(spec)
+			if err != nil {
+				t.Fatalf("%s bits=%d (noconverge): %v", name, bits, err)
+			}
+			if slow.Converged != 0 || slow.MemoHits != 0 {
+				t.Fatalf("%s bits=%d: NoConverge campaign reported early exits", name, bits)
+			}
+			earlyExits += fast.Converged + fast.MemoHits
+			if !reflect.DeepEqual(fast.Outcomes, slow.Outcomes) {
+				t.Errorf("%s bits=%d: outcomes diverge between converge and no-converge campaigns", name, bits)
+			}
+			if fast.Counts != slow.Counts {
+				t.Errorf("%s bits=%d: tallies diverge between converge and no-converge campaigns", name, bits)
+			}
+		}
+	}
+	if earlyExits == 0 && os.Getenv("MULTIFLIP_NOCONVERGE") == "" {
+		t.Error("no memory-fault experiment converged or hit the memo; never-read corruptions should")
+	}
+}
+
+// TestMemFaultJoinsConcurrentErrors mirrors the campaign error-join test:
+// both workers fail concurrently (a barrier holds them until both have
+// claimed), and both failures surface via errors.Join.
+func TestMemFaultJoinsConcurrentErrors(t *testing.T) {
+	target := target(t, "CRC32")
+	other := target2(t, "qsort")
+	broken := *target
+	broken.Snapshots = other.Snapshots
+	broken.Trace = nil
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	restore := memfault.SetExperimentHook(func(idx int) {
+		barrier.Done()
+		barrier.Wait()
+	})
+	defer restore()
+	_, err := memfault.Run(memfault.Spec{
+		Target:  &broken,
+		Bits:    3,
+		N:       2,
+		Seed:    1,
+		Workers: 2,
+	})
+	if err == nil {
+		t.Fatal("memfault campaign on a broken target succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "experiment 0") || !strings.Contains(msg, "experiment 1") {
+		t.Errorf("joined error misses a worker's failure: %v", err)
+	}
+	var many interface{ Unwrap() []error }
+	if !errors.As(err, &many) || len(many.Unwrap()) != 2 {
+		t.Errorf("want a 2-error join, got %v", err)
+	}
+}
+
+// target2 builds a second prepared workload (helper alongside target in
+// memfault_test.go).
+func target2(t *testing.T, name string) *core.Target {
+	t.Helper()
+	bench, err := prog.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := bench.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := core.NewTarget(name, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tgt
+}

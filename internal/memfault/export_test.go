@@ -1,0 +1,9 @@
+package memfault
+
+// SetExperimentHook installs the worker-claim test seam and returns a
+// restore function. The error-propagation tests use it to hold workers at
+// a barrier so several fail concurrently.
+func SetExperimentHook(h func(idx int)) (restore func()) {
+	experimentHook = h
+	return func() { experimentHook = nil }
+}

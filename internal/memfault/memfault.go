@@ -14,6 +14,7 @@
 package memfault
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -50,6 +51,12 @@ type Spec struct {
 	// Results are bit-identical either way (the fusion differential tests
 	// enforce it).
 	NoFusion bool
+	// NoConverge disables convergence-gated early termination and the
+	// fault-equivalence memo: every experiment runs to completion even
+	// after its corrupted word is overwritten and the state reconverges
+	// with the golden run. Results are bit-identical either way (the
+	// convergence differential tests enforce it).
+	NoConverge bool
 	// Record keeps per-experiment outcomes in the result.
 	Record bool
 }
@@ -78,9 +85,19 @@ type Result struct {
 	// confidence-interval statistics (N, Pct, SDCPct, DetectionPct, CI95),
 	// shared with the register campaigns in internal/core.
 	core.Tally
+	// Converged counts experiments the VM terminated early because their
+	// corrupted state reconverged with the golden run (deterministic).
+	Converged int
+	// MemoHits counts experiments resolved from the fault-equivalence
+	// memo (dependent on worker scheduling; outcomes never are).
+	MemoHits int
 	// Outcomes holds per-experiment outcomes when Spec.Record is set.
 	Outcomes []core.Outcome
 }
+
+// experimentHook, when non-nil, is called with each claimed experiment
+// index before it runs. Test seam for the error-propagation tests.
+var experimentHook func(idx int)
 
 // Run executes the campaign. Like register campaigns, results are
 // reproducible for any worker count.
@@ -102,13 +119,27 @@ func Run(spec Spec) (*Result, error) {
 	t := spec.Target
 	words := uint64(len(t.Prog.Globals)) / 8
 
+	// Convergence-gated early termination plus the fault-equivalence memo
+	// (see core.RunCampaign): experiments whose corrupted word is
+	// overwritten before it is read reconverge with the golden run and
+	// terminate at the next event-horizon boundary, and experiments that
+	// collapse to an already-seen corrupted state reuse the recorded
+	// outcome.
+	trace := t.Trace
+	if spec.NoConverge {
+		trace = nil
+	}
+
 	outcomes := make([]core.Outcome, spec.N)
 	var (
-		next     atomic.Int64
-		failed   atomic.Bool
-		wg       sync.WaitGroup
-		firstMu  sync.Mutex
-		firstErr error
+		next      atomic.Int64
+		failed    atomic.Bool
+		wg        sync.WaitGroup
+		errMu     sync.Mutex
+		errs      []error
+		memo      sync.Map
+		converged atomic.Int64
+		memoHits  atomic.Int64
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -120,6 +151,9 @@ func Run(spec Spec) (*Result, error) {
 				i := int(next.Add(1)) - 1
 				if i >= spec.N {
 					return
+				}
+				if h := experimentHook; h != nil {
+					h(i)
 				}
 				rng := xrand.ForExperiment(spec.Seed, uint64(i))
 				flip := vm.MemFlip{
@@ -136,31 +170,64 @@ func Run(spec Spec) (*Result, error) {
 				if !spec.NoSnapshots {
 					resume = t.SnapshotBeforeDyn(flip.AtDyn)
 				}
+				var (
+					hit   core.Outcome
+					hitOK bool
+				)
+				var memoCheck func(vm.StateKey) bool
+				if trace != nil {
+					memoCheck = func(k vm.StateKey) bool {
+						if v, ok := memo.Load(k); ok {
+							hit = v.(core.Outcome)
+							hitOK = true
+							return true
+						}
+						return false
+					}
+				}
 				res, err := vm.Run(t.Prog, vm.Options{
 					MaxDyn:    hangFactor*t.GoldenDyn + 1000,
 					MaxOutput: 4*len(t.Golden) + 4096,
 					MemFlips:  []vm.MemFlip{flip},
 					Resume:    resume,
 					NoFuse:    spec.NoFusion,
+					Trace:     trace,
+					MemoCheck: memoCheck,
 				})
 				if err != nil {
-					firstMu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("memfault: %s experiment %d: %w", t.Name, i, err)
-					}
-					firstMu.Unlock()
+					// Collect every worker's failure (errors.Join below), not
+					// just whichever surfaced first.
+					errMu.Lock()
+					errs = append(errs, fmt.Errorf("memfault: %s experiment %d: %w", t.Name, i, err))
+					errMu.Unlock()
 					failed.Store(true)
 					return
 				}
-				outcomes[i] = t.Classify(res)
+				if res.Stop == vm.StopMemo && hitOK {
+					outcomes[i] = hit
+					memoHits.Add(1)
+					continue
+				}
+				o := t.Classify(res)
+				outcomes[i] = o
+				if res.Converged {
+					converged.Add(1)
+				}
+				if res.PostKeyed {
+					memo.Store(res.PostKey, o)
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
-	r := &Result{Spec: spec}
+	r := &Result{
+		Spec:      spec,
+		Converged: int(converged.Load()),
+		MemoHits:  int(memoHits.Load()),
+	}
 	for _, o := range outcomes {
 		r.Add(o)
 	}

@@ -1,0 +1,84 @@
+package study_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"multiflip/internal/core"
+	"multiflip/internal/study"
+)
+
+// TestEarlyExitTable checks the early-termination report: one row per
+// program, six data columns, and — on the tiny grid — a non-zero
+// convergence tally somewhere (the single-bit campaigns are dense in
+// overwritten-before-read faults).
+func TestEarlyExitTable(t *testing.T) {
+	s := tiny(t)
+	tb := s.EarlyExit()
+	if len(tb.Rows) != len(s.Programs) {
+		t.Fatalf("early-exit table has %d rows, want %d", len(tb.Rows), len(s.Programs))
+	}
+	for _, row := range tb.Rows {
+		if len(row) != 7 {
+			t.Fatalf("early-exit row has %d cells, want 7: %v", len(row), row)
+		}
+	}
+	total := 0
+	for _, name := range s.Programs {
+		d := s.Data[name]
+		for _, tech := range core.Techniques() {
+			total += d.Single[tech].Converged
+			for _, r := range d.Multi[tech] {
+				total += r.Converged
+			}
+		}
+	}
+	if total == 0 && os.Getenv("MULTIFLIP_NOCONVERGE") == "" {
+		t.Error("no campaign in the tiny study converged any experiment")
+	}
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Early termination") {
+		t.Error("rendered table misses its title")
+	}
+}
+
+// TestStudyNoConvergeDifferential runs a reduced study with the
+// convergence tier disabled and checks the rendered outcome figures are
+// byte-identical to the default study's — the study-level version of the
+// campaign differential.
+func TestStudyNoConvergeDifferential(t *testing.T) {
+	opts := tinyOpts()
+	opts.Programs = []string{"CRC32"}
+	opts.MaxMBFs = []int{2}
+	opts.WinSizes = []core.WinSize{core.Win(0), core.Win(1)}
+	on, err := study.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.NoConverge = true
+	off, err := study.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tech := range core.Techniques() {
+		if got, want := on.Figure1(tech).String(), off.Figure1(tech).String(); got != want {
+			t.Errorf("%s: Figure 1 differs between converge and no-converge studies:\n%s\nvs\n%s",
+				tech, got, want)
+		}
+		if got, want := on.Figure2(tech).String(), off.Figure2(tech).String(); got != want {
+			t.Errorf("%s: Figure 2 differs between converge and no-converge studies", tech)
+		}
+	}
+	for _, name := range off.Programs {
+		d := off.Data[name]
+		for _, tech := range core.Techniques() {
+			if d.Single[tech].Converged != 0 || d.Single[tech].MemoHits != 0 {
+				t.Errorf("%s %s: NoConverge study reported early exits", name, tech)
+			}
+		}
+	}
+}

@@ -49,7 +49,7 @@ func (s *Study) Tables(withTransitions bool) ([]*report.Table, error) {
 		}
 		tables = append(tables, s.TableIV(trans))
 	}
-	return append(tables, s.PruningDividend(), s.Answers(trans)), nil
+	return append(tables, s.PruningDividend(), s.EarlyExit(), s.Answers(trans)), nil
 }
 
 // RenderAll writes every table and figure to w.

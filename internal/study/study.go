@@ -38,6 +38,11 @@ type Options struct {
 	// replays its fault-free prefix from instruction 0. Results are
 	// bit-identical either way; the knob supports A/B timing and debugging.
 	NoSnapshots bool
+	// NoConverge disables convergence-gated early termination and the
+	// fault-equivalence memo: every experiment runs to completion. Results
+	// are bit-identical either way; the knob supports A/B timing and the
+	// CI convergence ablation.
+	NoConverge bool
 	// Log, when non-nil, receives one progress line per campaign batch.
 	Log io.Writer
 }
@@ -136,7 +141,10 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 	if err != nil {
 		return nil, fmt.Errorf("study: build %s: %w", name, err)
 	}
-	target, err := core.NewTargetOpts(name, p, core.TargetOptions{NoSnapshots: opts.NoSnapshots})
+	target, err := core.NewTargetOpts(name, p, core.TargetOptions{
+		NoSnapshots: opts.NoSnapshots,
+		NoConverge:  opts.NoConverge,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -158,6 +166,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 			Workers:     opts.Workers,
 			Record:      true,
 			NoSnapshots: opts.NoSnapshots,
+			NoConverge:  opts.NoConverge,
 		})
 		if err != nil {
 			return nil, err
@@ -175,6 +184,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 					HangFactor:  opts.HangFactor,
 					Workers:     opts.Workers,
 					NoSnapshots: opts.NoSnapshots,
+					NoConverge:  opts.NoConverge,
 				})
 				if err != nil {
 					return nil, err

@@ -70,6 +70,7 @@ func (s *Study) runTransitions() (map[string]map[core.Technique]*TransitionResul
 				Record:      true,
 				Pins:        pins,
 				NoSnapshots: s.Opts.NoSnapshots,
+				NoConverge:  s.Opts.NoConverge,
 			})
 			if err != nil {
 				return nil, err

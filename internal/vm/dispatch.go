@@ -17,6 +17,7 @@ package vm
 // can fire between the halves.
 
 import (
+	"encoding/binary"
 	"math"
 	"os"
 
@@ -59,49 +60,52 @@ var handlers [256]handlerFunc
 
 func init() {
 	assign := map[ir.Token]handlerFunc{
-		ir.TokInvalid: hInvalid,
-		ir.TokAdd:     hAdd,
-		ir.TokSub:     hSub,
-		ir.TokMul:     hMul,
-		ir.TokAnd:     hAnd,
-		ir.TokOr:      hOr,
-		ir.TokXor:     hXor,
-		ir.TokShl:     hShl,
-		ir.TokLShr:    hLShr,
-		ir.TokAShr:    hAShr,
-		ir.TokDiv:     hDiv,
-		ir.TokFBin:    hFBin,
-		ir.TokFNeg:    hFNeg,
-		ir.TokFAbs:    hFAbs,
-		ir.TokFSqrt:   hFSqrt,
-		ir.TokSExt:    hSExt,
-		ir.TokZTrunc:  hZTrunc,
-		ir.TokSIToFP:  hSIToFP,
-		ir.TokFPToSI:  hFPToSI,
-		ir.TokMov:     hMov,
-		ir.TokCmpEQ:   hCmpEQ,
-		ir.TokCmpNE:   hCmpNE,
-		ir.TokCmpULT:  hCmpULT,
-		ir.TokCmpULE:  hCmpULE,
-		ir.TokCmpSLT:  hCmpSLT,
-		ir.TokCmpSLE:  hCmpSLE,
-		ir.TokFCmp:    hFCmp,
-		ir.TokSelect:  hSelect,
-		ir.TokLoad:    hLoad,
-		ir.TokStore:   hStore,
-		ir.TokAlloca:  hAlloca,
-		ir.TokBr:      hBr,
-		ir.TokCondBr:  hCondBr,
-		ir.TokCall:    hCall,
-		ir.TokRet:     hRet,
-		ir.TokOut:     hOut,
-		ir.TokAbort:   hAbort,
-		ir.TokAdd64RR: hAdd64RR,
-		ir.TokAdd64RI: hAdd64RI,
-		ir.TokXor64RR: hXor64RR,
-		ir.TokLoadR:   hLoadR,
-		ir.TokStoreRR: hStoreRR,
-		ir.TokMovR:    hMovR,
+		ir.TokInvalid:    hInvalid,
+		ir.TokAdd:        hAdd,
+		ir.TokSub:        hSub,
+		ir.TokMul:        hMul,
+		ir.TokAnd:        hAnd,
+		ir.TokOr:         hOr,
+		ir.TokXor:        hXor,
+		ir.TokShl:        hShl,
+		ir.TokLShr:       hLShr,
+		ir.TokAShr:       hAShr,
+		ir.TokDiv:        hDiv,
+		ir.TokFBin:       hFBin,
+		ir.TokFNeg:       hFNeg,
+		ir.TokFAbs:       hFAbs,
+		ir.TokFSqrt:      hFSqrt,
+		ir.TokSExt:       hSExt,
+		ir.TokZTrunc:     hZTrunc,
+		ir.TokSIToFP:     hSIToFP,
+		ir.TokFPToSI:     hFPToSI,
+		ir.TokMov:        hMov,
+		ir.TokCmpEQ:      hCmpEQ,
+		ir.TokCmpNE:      hCmpNE,
+		ir.TokCmpULT:     hCmpULT,
+		ir.TokCmpULE:     hCmpULE,
+		ir.TokCmpSLT:     hCmpSLT,
+		ir.TokCmpSLE:     hCmpSLE,
+		ir.TokFCmp:       hFCmp,
+		ir.TokSelect:     hSelect,
+		ir.TokLoad:       hLoad,
+		ir.TokStore:      hStore,
+		ir.TokAlloca:     hAlloca,
+		ir.TokBr:         hBr,
+		ir.TokCondBr:     hCondBr,
+		ir.TokCall:       hCall,
+		ir.TokRet:        hRet,
+		ir.TokOut:        hOut,
+		ir.TokAbort:      hAbort,
+		ir.TokAdd64RR:    hAdd64RR,
+		ir.TokAdd64RI:    hAdd64RI,
+		ir.TokAdd32RR:    hAdd32RR,
+		ir.TokAdd32RI:    hAdd32RI,
+		ir.TokXor64RR:    hXor64RR,
+		ir.TokCmpSLT32RR: hCmpSLT32RR,
+		ir.TokLoadR:      hLoadR,
+		ir.TokStoreRR:    hStoreRR,
+		ir.TokMovR:       hMovR,
 	}
 	if len(assign) != int(ir.NumTokens) {
 		panic("vm: dispatch table does not cover the token space")
@@ -137,6 +141,24 @@ func hAdd64RR(m *machine, fr *frame, in *ir.Instr) stat {
 func hAdd64RI(m *machine, fr *frame, in *ir.Instr) stat {
 	regs := fr.regs
 	regs[in.Dst] = regs[in.A.RegRaw()] + in.B.ImmRaw()
+	return statNext
+}
+
+func hAdd32RR(m *machine, fr *frame, in *ir.Instr) stat {
+	regs := fr.regs
+	regs[in.Dst] = uint64(uint32(regs[in.A.RegRaw()]) + uint32(regs[in.B.RegRaw()]))
+	return statNext
+}
+
+func hAdd32RI(m *machine, fr *frame, in *ir.Instr) stat {
+	regs := fr.regs
+	regs[in.Dst] = uint64(uint32(regs[in.A.RegRaw()]) + uint32(in.B.ImmRaw()))
+	return statNext
+}
+
+func hCmpSLT32RR(m *machine, fr *frame, in *ir.Instr) stat {
+	regs := fr.regs
+	regs[in.Dst] = boolBit(int32(regs[in.A.RegRaw()]) < int32(regs[in.B.RegRaw()]))
 	return statNext
 }
 
@@ -457,10 +479,9 @@ func hRet(m *machine, fr *frame, in *ir.Instr) stat {
 
 func hOut(m *machine, fr *frame, in *ir.Instr) stat {
 	v := val(fr.regs, in.A) & in.W.Mask()
-	n := in.W.Bytes()
-	for i := 0; i < n; i++ {
-		m.out = append(m.out, byte(v>>(8*uint(i))))
-	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	m.out = append(m.out, buf[:in.W.Bytes()]...)
 	if len(m.out) > m.maxOut {
 		m.stop = StopOutputLimit
 		return statHalt

@@ -315,5 +315,64 @@ func FuzzVM(f *testing.F) {
 			t.Fatalf("memflip resumed: %v", err)
 		}
 		sameResult(t, "memflip resumed vs cold", mr, ms)
+
+		// Convergence-gated early termination must be invisible: a golden
+		// hash trace recorded alongside the checkpoints never perturbs the
+		// recording run, and every faulted run carrying it — converged or
+		// not, cold or resumed — matches its traceless twin bit for bit.
+		trOpts := ckOpts
+		trOpts.RecordTrace = true
+		trun, err := Run(p, trOpts)
+		if err != nil {
+			t.Fatalf("trace-recording run: %v", err)
+		}
+		sameResult(t, "trace-recording run", trun, straight)
+		trace := trun.Trace
+		if trace == nil {
+			t.Fatal("checkpointing run with RecordTrace recorded no trace")
+		}
+
+		*z = zz
+		planConv := base
+		planConv.Plan = mkPlan()
+		planConv.Trace = trace
+		pc, err := Run(p, planConv)
+		if err != nil {
+			t.Fatalf("plan converge cold: %v", err)
+		}
+		sameResult(t, "plan converge cold vs full", pc, ps)
+
+		*z = zz
+		planConvRes := base
+		planConvRes.Plan = mkPlan()
+		planConvRes.Trace = trace
+		planConvRes.Resume = snap
+		pcr, err := Run(p, planConvRes)
+		if err != nil {
+			t.Fatalf("plan converge resumed: %v", err)
+		}
+		sameResult(t, "plan converge resumed vs full", pcr, ps)
+
+		memConv := memStraight
+		memConv.Trace = trace
+		mc, err := Run(p, memConv)
+		if err != nil {
+			t.Fatalf("memflip converge: %v", err)
+		}
+		sameResult(t, "memflip converge vs full", mc, ms)
+
+		// The kill switch forces full execution and clears the provenance.
+		*z = zz
+		planKill := planConv
+		planKill.Plan = mkPlan()
+		planKill.NoConverge = true
+		pk, err := Run(p, planKill)
+		if err != nil {
+			t.Fatalf("plan NoConverge: %v", err)
+		}
+		if pk.Converged {
+			t.Fatal("NoConverge run reported convergence")
+		}
+		sameResult(t, "plan NoConverge vs full", pk, ps)
 	})
 }

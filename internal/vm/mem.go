@@ -21,6 +21,19 @@ type bitmap []uint64
 
 func newBitmap(pages int) bitmap { return make(bitmap, (pages+63)/64) }
 
+// ensureBits returns a cleared bitmap covering pages, reusing b's storage
+// when it is large enough. Machines are pooled across runs, so tracking
+// bitmaps are recycled rather than reallocated per experiment.
+func ensureBits(b bitmap, pages int) bitmap {
+	words := (pages + 63) / 64
+	if cap(b) < words {
+		return make(bitmap, words)
+	}
+	b = b[:words]
+	clear(b)
+	return b
+}
+
 func (b bitmap) get(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
 func (b bitmap) set(i int)      { b[i>>6] |= 1 << uint(i&63) }
 
@@ -40,13 +53,51 @@ func (b bitmap) set(i int)      { b[i>>6] |= 1 << uint(i&63) }
 //     run actually writes, not with segment size.
 //
 // dirty, when non-nil, records the pages stored to since the last
-// snapshot capture; only checkpointing runs pay for it.
+// snapshot capture (or convergence check); only checkpointing and
+// convergence-tracking runs pay for it.
+//
+// convH/convKnown, when non-nil, maintain the per-page hashes behind the
+// convergence fingerprint (see trace.go): the first store to a page since
+// tracking began hashes its pre-store content (the golden baseline), and
+// each fold re-hashes only the pages dirtied since the previous fold.
 type mem struct {
 	n     int    // segment length in bytes
 	flat  []byte // private storage; grows toward n as pages are written
 	back  [][]byte
 	res   bitmap
 	dirty bitmap
+
+	convSalt  uint64
+	convKnown bitmap
+	convH     []uint64
+}
+
+// memBufs carries a segment's recyclable tracking buffers between pooled
+// runs.
+type memBufs struct {
+	dirty, convKnown bitmap
+	convH            []uint64
+}
+
+// takeBufs detaches the tracking buffers for recycling.
+func (s *mem) takeBufs() memBufs {
+	b := memBufs{s.dirty, s.convKnown, s.convH}
+	s.dirty, s.convKnown, s.convH = nil, nil, nil
+	return b
+}
+
+// mergeBufs keeps the non-nil buffers of a, falling back to b's.
+func mergeBufs(a, b memBufs) memBufs {
+	if a.dirty == nil {
+		a.dirty = b.dirty
+	}
+	if a.convKnown == nil {
+		a.convKnown = b.convKnown
+	}
+	if a.convH == nil {
+		a.convH = b.convH
+	}
+	return a
 }
 
 // flatMem returns a segment fully materialized in flat.
@@ -59,8 +110,92 @@ func cowMem(n int, back [][]byte) mem {
 	return mem{n: n, back: back, res: newBitmap(numPages(n))}
 }
 
-// track enables dirty-page tracking (checkpointing runs only).
-func (s *mem) track() { s.dirty = newBitmap(numPages(s.n)) }
+// track enables dirty-page tracking (checkpointing and convergence-
+// tracking runs), reusing s.dirty's storage when possible.
+func (s *mem) track() { s.dirty = ensureBits(s.dirty, numPages(s.n)) }
+
+// trackConv enables convergence-hash tracking under salt, reusing the
+// attached buffers when large enough. convH entries are only read for
+// pages whose convKnown bit is set, so the array itself needs no
+// clearing.
+func (s *mem) trackConv(salt uint64) {
+	pages := numPages(s.n)
+	s.convSalt = salt
+	s.convKnown = ensureBits(s.convKnown, pages)
+	if cap(s.convH) < pages {
+		s.convH = make([]uint64, pages)
+	} else {
+		s.convH = s.convH[:pages]
+	}
+}
+
+// pageSeed returns the position-dependent hash seed of page p, so equal
+// content on different pages (or segments) hashes differently.
+func (s *mem) pageSeed(p int) uint64 { return s.convSalt ^ uint64(p)*hashPhi }
+
+// pageBytes returns page p's materialized content. Bytes beyond flat are
+// zero by the segment invariants (stack above the high-water mark, eager
+// growth zero-fill), which hashPage's implicit padding supplies.
+func (s *mem) pageBytes(p int) []byte {
+	lo := p << pageShift
+	hi := lo + pageSize
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= len(s.flat) {
+		return nil
+	}
+	if hi > len(s.flat) {
+		hi = len(s.flat)
+	}
+	return s.flat[lo:hi]
+}
+
+// firstTouch hashes page p's pre-store content: the caller is about to
+// perform the first store to p since convergence tracking began, so the
+// current content is still the baseline the fingerprint is relative to.
+func (s *mem) firstTouch(p int) {
+	s.convKnown.set(p)
+	s.convH[p] = hashPage(s.pageSeed(p), s.pageBytes(p))
+}
+
+// foldDirty re-hashes every page dirtied since the previous fold, clears
+// the dirty map, and returns the XOR delta to the segment's convergence
+// fingerprint. Cost scales with the interval's write set.
+func (s *mem) foldDirty() uint64 {
+	var delta uint64
+	for w := range s.dirty {
+		bitsLeft := s.dirty[w]
+		for bitsLeft != 0 {
+			p := w<<6 + trailingZeros(bitsLeft)
+			bitsLeft &= bitsLeft - 1
+			nh := hashPage(s.pageSeed(p), s.pageBytes(p))
+			if old := s.convH[p]; nh != old {
+				delta ^= old ^ nh
+				s.convH[p] = nh
+			}
+		}
+		s.dirty[w] = 0
+	}
+	return delta
+}
+
+// foldDelta is foldDirty for the golden recording run, which shares its
+// dirty bitmap with snapshot capture: it re-hashes the pages from the
+// delta captureDelta just produced (their contents already copied and
+// clamped exactly as a resumed run would see them).
+func (s *mem) foldDelta(d pageDelta) uint64 {
+	var delta uint64
+	for k, i := range d.idx {
+		p := int(i)
+		nh := hashPage(s.pageSeed(p), d.pages[k])
+		if old := s.convH[p]; nh != old {
+			delta ^= old ^ nh
+			s.convH[p] = nh
+		}
+	}
+	return delta
+}
 
 // backPage returns the backing page p, or nil (all zeroes) when the
 // table does not cover it.
@@ -175,8 +310,20 @@ func (s *mem) store(off, size int, v uint64) {
 		}
 	}
 	if s.dirty != nil {
-		s.dirty.set(p0)
-		if p1 != p0 {
+		// Repeat stores to an already-dirty page skip all tracking work;
+		// on the 0->1 transition, the first store since convergence
+		// tracking began additionally hashes the page's pre-store content
+		// (the baseline the fingerprint deltas are computed against).
+		if !s.dirty.get(p0) {
+			if s.convH != nil && !s.convKnown.get(p0) {
+				s.firstTouch(p0)
+			}
+			s.dirty.set(p0)
+		}
+		if p1 != p0 && !s.dirty.get(p1) {
+			if s.convH != nil && !s.convKnown.get(p1) {
+				s.firstTouch(p1)
+			}
 			s.dirty.set(p1)
 		}
 	}

@@ -124,24 +124,40 @@ const DefaultMaxSnapshots = 128
 const noSnap = ^uint64(0)
 
 // eagerRestoreBytes is the segment size up to which restore materializes
-// a flat private copy instead of installing pages lazily: for kilobyte
+// a flat private copy instead of installing pages lazily: for small
 // segments one memcpy is cheaper than per-access residency checks, while
-// large segments profit from paying only for the pages they write.
-const eagerRestoreBytes = 4096
+// large segments profit from paying only for the pages they write. 16 KiB
+// keeps recursion-heavy workloads (whose stack high-water mark passes
+// 4 KiB, e.g. qsort) on the eager path — their experiments touch most of
+// the live stack anyway, and the residency test on every array access
+// costs more than the one-shot copy.
+const eagerRestoreBytes = 16384
 
 // takeSnapshot records the current machine state. Called at the top of the
 // interpreter loop, so m.dyn instructions have fully executed and every
 // counter is at an instruction boundary.
 func (m *machine) takeSnapshot() {
+	// Only the pages dirtied since the previous capture are copied;
+	// everything else is represented by the base chain.
+	gd := m.globals.captureDelta(m.globals.n)
+	var sd pageDelta
+	if m.stackHW > 0 {
+		sd = m.stack.captureDelta(m.stackHW)
+	}
+	if m.rec != nil {
+		// Golden trace recording piggybacks on the capture pass: the
+		// deltas hold exactly the pages dirtied this interval, so the
+		// state fingerprint updates from them without re-scanning.
+		m.recordTraceEntry(gd, sd)
+	}
 	s := &Snapshot{
-		Dyn:       m.dyn,
-		ReadSlots: m.readSlots,
-		Writes:    m.writes,
-		prog:      m.prog,
-		// Only the pages dirtied since the previous capture are copied;
-		// everything else is represented by the base chain.
+		Dyn:         m.dyn,
+		ReadSlots:   m.readSlots,
+		Writes:      m.writes,
+		prog:        m.prog,
 		base:        m.lastSnap,
-		globalDelta: m.globals.captureDelta(m.globals.n),
+		globalDelta: gd,
+		stackDelta:  sd,
 		globalLen:   m.globals.n,
 		sp:          m.sp,
 		stackHW:     m.stackHW,
@@ -153,9 +169,6 @@ func (m *machine) takeSnapshot() {
 	}
 	if s.base == nil {
 		s.imgPages = m.imgPages
-	}
-	if m.stackHW > 0 {
-		s.stackDelta = m.stack.captureDelta(m.stackHW)
 	}
 	m.lastSnap = s
 
@@ -194,6 +207,7 @@ var (
 	errResumeCand      = errors.New("vm: plan's first candidate precedes the resume snapshot")
 	errResumeMem       = errors.New("vm: memory flip scheduled before the resume snapshot")
 	errCheckpointFault = errors.New("vm: checkpointing a run with injections is not supported")
+	errTraceProg       = errors.New("vm: golden trace belongs to a different program")
 )
 
 // restore initializes the machine from a snapshot. Small segments are

@@ -80,6 +80,7 @@ const (
 	StopTrap                              // hardware exception raised
 	StopHang                              // dynamic-instruction budget exhausted
 	StopOutputLimit                       // output exceeded its limit (runaway output loop)
+	StopMemo                              // Options.MemoCheck recognized the post-injection state
 )
 
 var stopNames = map[StopReason]string{
@@ -87,6 +88,7 @@ var stopNames = map[StopReason]string{
 	StopTrap:        "trap",
 	StopHang:        "hang",
 	StopOutputLimit: "output-limit",
+	StopMemo:        "memo-hit",
 }
 
 // String implements fmt.Stringer.
@@ -152,6 +154,33 @@ type Options struct {
 	// ablation. The MULTIFLIP_NOFUSE environment variable disables fusion
 	// process-wide.
 	NoFuse bool
+	// RecordTrace, together with Checkpoint > 0, records a GoldenTrace in
+	// Result.Trace: a per-boundary state-hash trace of this (fault-free)
+	// run that later injected runs can converge against. Ignored when
+	// resuming (a trace must start at instruction 0).
+	RecordTrace bool
+	// Trace, when non-nil, enables convergence-gated early termination:
+	// once this run's injections are complete, its state fingerprint is
+	// compared against the golden trace at event-horizon boundaries, and
+	// on a match the run terminates immediately with the golden outcome
+	// (Result.Converged). The trace must come from the same *ir.Program;
+	// incompatible budgets or exception options silently disable the
+	// checks. Ignored for checkpointing or role-counting runs.
+	Trace *GoldenTrace
+	// NoConverge disables convergence-gated early termination (and the
+	// MemoCheck callback) for this run even when Trace is set. Results
+	// are bit-identical either way (the convergence differential tests
+	// enforce it); the knob exists for that comparison and for the CI
+	// convergence ablation. The MULTIFLIP_NOCONVERGE environment variable
+	// disables convergence process-wide.
+	NoConverge bool
+	// MemoCheck, when non-nil (and Trace is active), is called once with
+	// the run's StateKey at the first event-horizon boundary after its
+	// injections completed and its state diverges from golden. Returning
+	// true stops the run immediately with StopMemo: the caller already
+	// knows the outcome of this post-injection state. Campaign runners
+	// use it for fault-equivalence memoization.
+	MemoCheck func(StateKey) bool
 }
 
 // MemFlip describes one memory-word corruption: just before the dynamic
@@ -198,6 +227,19 @@ type Result struct {
 	// Snapshots holds the machine-state checkpoints taken during the run;
 	// filled only when Options.Checkpoint > 0.
 	Snapshots []*Snapshot
+	// Trace is the golden state-hash trace recorded by this run; filled
+	// only when Options.RecordTrace is set alongside Checkpoint.
+	Trace *GoldenTrace
+	// Converged marks an early-terminated run: the injected state became
+	// bit-identical to the golden state at the same dynamic instant, and
+	// Stop/Output/Dyn and the candidate counters report the golden
+	// continuation without it having been executed.
+	Converged bool
+	// PostKeyed reports that PostKey holds the run's fault-equivalence
+	// fingerprint: the state key at the first event-horizon boundary
+	// after the injections completed with state diverging from golden.
+	PostKeyed bool
+	PostKey   StateKey
 }
 
 // frame is one call-stack entry. Register files live in the machine's
@@ -206,6 +248,7 @@ type Result struct {
 type frame struct {
 	code    []ir.Instr
 	pc      int
+	fn      int32 // function index, part of the convergence fingerprint
 	regs    []uint64
 	regBase int
 	savedSP int
@@ -268,6 +311,28 @@ type machine struct {
 	nextDyn     uint64 // next dynamic index eligible for a follow-up injection
 	injDyns     []uint64
 
+	// Convergence machinery (trace.go). trace/rec are mutually exclusive:
+	// a run either consumes a golden trace (injected runs) or records one
+	// (the golden checkpointing run), so the incremental fingerprint
+	// fields (memH, outH, outHashed) are shared.
+	trace      *GoldenTrace
+	rec        *GoldenTrace
+	memoCheck  func(StateKey) bool
+	memH       uint64
+	outH       uint64
+	outHashed  int
+	nextConv   uint64
+	convIdx    int
+	convStride int
+	convSched  bool
+	memoDone   bool
+	converged  bool
+	postKey    StateKey
+	postKeyed  bool
+	// gSpare/sSpare hold the segments' recyclable tracking buffers
+	// between pooled runs.
+	gSpare, sSpare memBufs
+
 	trap TrapKind
 	stop StopReason
 }
@@ -289,11 +354,18 @@ func putMachine(m *machine) {
 	clear(frames)
 	gbuf := m.globals.flat[:0]
 	sbuf := m.stack.flat[:0]
+	// Tracking buffers (dirty/convergence bitmaps, page-hash arrays) are
+	// kept as spares: runs that did not track leave them in the spare
+	// slots, runs that did carry them in the segments.
+	gSpare := mergeBufs(m.globals.takeBufs(), m.gSpare)
+	sSpare := mergeBufs(m.stack.takeBufs(), m.sSpare)
 	*m = machine{}
 	m.regArena = arena
 	m.frames = frames[:0]
 	m.globals.flat = gbuf
 	m.stack.flat = sbuf
+	m.gSpare = gSpare
+	m.sSpare = sSpare
 	machinePool.Put(m)
 }
 
@@ -345,6 +417,7 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 	}
 	m.checkpoint = opts.Checkpoint
 	m.nextSnap = noSnap
+	m.nextConv = noConv
 	if m.checkpoint > 0 {
 		// Snapshots deliberately omit injection state (plan progress, memory
 		// flip cursor); checkpointing is a golden-run facility and corrupted
@@ -362,6 +435,27 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 			m.maxSnaps = 2
 		}
 	}
+	// Convergence: a run can consume a golden trace (injected runs) or
+	// record one (the golden checkpointing run), never both. Role-counting
+	// runs never reach the fast tier, so convergence is pointless there;
+	// incompatible budgets or exception options disable it silently (the
+	// run is still correct, just never early-terminated).
+	m.trace = opts.Trace
+	if m.trace != nil {
+		// A trace from a different program is a caller bug and is rejected
+		// even when convergence is disabled, so the ablation paths validate
+		// wiring exactly like the normal path.
+		if m.trace.prog != p {
+			return nil, errTraceProg
+		}
+		if opts.NoConverge || !convergeEnabled || m.checkpoint > 0 ||
+			m.countRoles || !m.trace.compatible(m) {
+			m.trace = nil
+		}
+	}
+	if opts.RecordTrace && m.checkpoint > 0 && opts.Resume == nil {
+		m.rec = &GoldenTrace{prog: p, noAlign: m.noAlign}
+	}
 	if opts.Resume != nil {
 		if err := m.restore(opts.Resume); err != nil {
 			return nil, err
@@ -372,6 +466,8 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 		m.pushFrame(p.Main, nil, ir.NoReg, false)
 	}
 	if m.checkpoint > 0 {
+		m.globals.dirty, m.gSpare.dirty = m.gSpare.dirty, nil
+		m.stack.dirty, m.sSpare.dirty = m.sSpare.dirty, nil
 		m.globals.track()
 		m.stack.track()
 		if opts.Resume == nil {
@@ -381,8 +477,47 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 		}
 		m.nextSnap = m.dyn + m.checkpoint
 	}
+	if m.rec != nil || m.trace != nil {
+		if m.checkpoint == 0 {
+			// Trace-consuming runs do not checkpoint; they still need the
+			// dirty bitmap to fold page hashes at convergence checks.
+			m.globals.dirty, m.gSpare.dirty = m.gSpare.dirty, nil
+			m.stack.dirty, m.sSpare.dirty = m.sSpare.dirty, nil
+			m.globals.track()
+			m.stack.track()
+		}
+		m.globals.convKnown, m.globals.convH = m.gSpare.convKnown, m.gSpare.convH
+		m.gSpare.convKnown, m.gSpare.convH = nil, nil
+		m.stack.convKnown, m.stack.convH = m.sSpare.convKnown, m.sSpare.convH
+		m.sSpare.convKnown, m.sSpare.convH = nil, nil
+		m.globals.trackConv(saltGlobals)
+		m.stack.trackConv(saltStack)
+		m.outH = fnvOffset
+		m.nextConv = noConv
+		if m.trace != nil && opts.Resume != nil {
+			// Seed the fingerprint from the golden entry at the resume
+			// point; a snapshot off the trace's boundary grid cannot be
+			// fingerprinted incrementally, so convergence is disabled.
+			if e := m.trace.entryAt(opts.Resume.Dyn); e != nil && e.outLen == uint64(len(m.out)) {
+				m.memH = e.memH
+				m.outH = e.outH
+			} else {
+				m.trace = nil
+			}
+		}
+		m.outHashed = len(m.out)
+	}
+	if m.trace != nil {
+		m.memoCheck = opts.MemoCheck
+		// Pre-size the output buffer to the golden length: runs that reach
+		// the output phase otherwise pay repeated growth copies (the
+		// clamped snapshot prefix forces a copy on first append anyway).
+		if want := len(m.trace.finalOut) + 64; cap(m.out)-len(m.out) < want {
+			m.out = append(make([]byte, 0, len(m.out)+want), m.out...)
+		}
+	}
 	m.run()
-	return &Result{
+	res := &Result{
 		Stop:          m.stop,
 		Trap:          m.trap,
 		Output:        m.out,
@@ -395,7 +530,19 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 		ReadRoles:     m.readRoles,
 		WriteRoles:    m.writeRoles,
 		Snapshots:     m.snaps,
-	}, nil
+		Converged:     m.converged,
+		PostKeyed:     m.postKeyed,
+		PostKey:       m.postKey,
+	}
+	if m.rec != nil {
+		m.rec.finalDyn = m.dyn
+		m.rec.finalReadSlots = m.readSlots
+		m.rec.finalWrites = m.writes
+		m.rec.finalOut = m.out[:len(m.out):len(m.out)]
+		m.rec.finalStop = m.stop
+		res.Trace = m.rec
+	}
+	return res, nil
 }
 
 // Profile runs p fault-free and returns the result; callers use it to
@@ -458,12 +605,19 @@ func (m *machine) pushFrame(fIdx int, args []uint64, retDst ir.Reg, hasRet bool)
 	copy(regs, args)
 	m.frames = append(m.frames, frame{
 		code:    f.Code,
+		fn:      int32(fIdx),
 		regs:    regs,
 		regBase: base,
 		savedSP: m.sp,
 		retDst:  retDst,
 		hasRet:  hasRet,
 	})
+	if m.rec != nil && len(m.frames) > m.rec.maxFrames {
+		// Convergence under a smaller call-depth budget than the golden
+		// run's peak could hide a stack-overflow trap in the continuation;
+		// the recorded peak lets compatible() refuse such runs.
+		m.rec.maxFrames = len(m.frames)
+	}
 }
 
 func (m *machine) trapOut(k TrapKind) {
@@ -528,16 +682,31 @@ func (m *machine) run() {
 			}
 			continue
 		}
-		// The event horizon: no snapshot, memory flip or hang stop can
-		// fire strictly before this dynamic index. applyMemFlip and
-		// takeSnapshot always advance their cursors past m.dyn, so
-		// sprint makes progress on every outer iteration.
+		// Convergence checks arm once every injection is done (an armed
+		// plan keeps the observer tier above; memory flips are checked
+		// here) and fire at golden-trace boundaries via the event horizon.
+		if m.trace != nil && m.memIdx == len(m.memFlips) {
+			if !m.convSched {
+				m.scheduleConv()
+			}
+			if m.dyn >= m.nextConv && m.checkConverge() {
+				return
+			}
+		}
+		// The event horizon: no snapshot, memory flip, convergence check
+		// or hang stop can fire strictly before this dynamic index.
+		// applyMemFlip, takeSnapshot and checkConverge always advance
+		// their cursors past m.dyn, so sprint makes progress on every
+		// outer iteration.
 		limit := m.maxDyn
 		if m.nextSnap < limit {
 			limit = m.nextSnap
 		}
 		if m.nextMemFlip < limit {
 			limit = m.nextMemFlip
+		}
+		if m.nextConv < limit {
+			limit = m.nextConv
 		}
 		if fr = m.sprint(fr, limit); fr == nil {
 			return
@@ -616,6 +785,15 @@ func (m *machine) sprint(fr *frame, limit uint64) *frame {
 					goto halt
 				}
 				fr.pc += 2
+			case ir.FuseMulAdd:
+				// mul.64 feeding one operand of the next add.64 — the
+				// address-scaling idiom (base + index*size). The product is
+				// written first, then the add reads it like any operand.
+				regs[in.Dst] = val(regs, in.A) * val(regs, in.B)
+				writes++
+				regs[in2.Dst] = val(regs, in2.A) + val(regs, in2.B)
+				writes++
+				fr.pc += 2
 			default:
 				// Compare+branch: the compare result is still written to
 				// its destination register before the branch consumes it.
@@ -659,6 +837,18 @@ func (m *machine) sprint(fr *frame, limit uint64) *frame {
 			fr.pc++
 		case ir.TokAdd64RI:
 			regs[in.Dst] = regs[in.A.RegRaw()] + in.B.ImmRaw()
+			writes++
+			fr.pc++
+		case ir.TokAdd32RR:
+			regs[in.Dst] = uint64(uint32(regs[in.A.RegRaw()]) + uint32(regs[in.B.RegRaw()]))
+			writes++
+			fr.pc++
+		case ir.TokAdd32RI:
+			regs[in.Dst] = uint64(uint32(regs[in.A.RegRaw()]) + uint32(in.B.ImmRaw()))
+			writes++
+			fr.pc++
+		case ir.TokCmpSLT32RR:
+			regs[in.Dst] = boolBit(int32(regs[in.A.RegRaw()]) < int32(regs[in.B.RegRaw()]))
 			writes++
 			fr.pc++
 		case ir.TokXor64RR:
