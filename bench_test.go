@@ -361,45 +361,8 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	b.ReportMetric(float64(perIter)*float64(b.N)/b.Elapsed().Seconds(), "experiments/s")
 }
 
-// buildImageProg builds an image-like workload over a large global
-// segment (words 64-bit words, ≥1 MiB for the large-globals benchmarks):
-// pass 1 fills the "image" from a cheap PRNG recurrence, pass 2 applies a
-// neighbour-mixing filter in place, and a sparse checksum pass emits the
-// output. Stores sweep the whole segment, so golden-run capture, CoW
-// resume and convergence hashing all operate at real image scale.
-func buildImageProg(words int) (*ir.Program, error) {
-	mb := ir.NewModule(fmt.Sprintf("image-%dKiB", words*8/1024))
-	base := mb.GlobalZero(8 * words)
-	f := mb.Func("main", 0)
-	// Pass 1: fill.
-	f.For(ir.C(0), ir.C(uint64(words)), func(i ir.Reg) {
-		v := f.BinW(ir.W64, ir.OpMul, i, ir.C(0x9e3779b97f4a7c15))
-		v = f.BinW(ir.W64, ir.OpXor, v, f.BinW(ir.W64, ir.OpLShr, v, ir.C(29)))
-		addr := f.BinW(ir.W64, ir.OpAdd, ir.C(base), f.BinW(ir.W64, ir.OpMul, i, ir.C(8)))
-		f.Store64(addr, v, 0)
-	})
-	// Pass 2: neighbour mix (a 1-D blur stand-in).
-	f.For(ir.C(1), ir.C(uint64(words-1)), func(i ir.Reg) {
-		addr := f.BinW(ir.W64, ir.OpAdd, ir.C(base), f.BinW(ir.W64, ir.OpMul, i, ir.C(8)))
-		left := f.Load64(addr, -8)
-		mid := f.Load64(addr, 0)
-		right := f.Load64(addr, 8)
-		mixed := f.BinW(ir.W64, ir.OpAdd, f.BinW(ir.W64, ir.OpAdd, left, right), mid)
-		f.Store64(addr, mixed, 0)
-	})
-	// Checksum: sample every 64th word.
-	acc := f.Let(ir.C(0))
-	f.For(ir.C(0), ir.C(uint64(words/64)), func(i ir.Reg) {
-		addr := f.BinW(ir.W64, ir.OpAdd, ir.C(base), f.BinW(ir.W64, ir.OpMul, i, ir.C(512)))
-		f.Mov(acc, f.BinW(ir.W64, ir.OpXor, acc, f.Load64(addr, 0)))
-	})
-	f.Out64(acc)
-	f.RetVoid()
-	return mb.Build()
-}
-
-// BenchmarkCampaignLargeGlobals runs a register campaign over an
-// image-scale workload (1 MiB of globals): snapshots restore
+// BenchmarkCampaignLargeGlobals runs a register campaign over the named
+// megapixel workload (internal/prog, 1 MiB of globals): snapshots restore
 // copy-on-write, and the convergence tier hashes only each interval's
 // write set — this is the configuration the page-granular design exists
 // for. BenchmarkCampaignLargeGlobalsNoConverge is its early-termination
@@ -415,12 +378,15 @@ func BenchmarkCampaignLargeGlobalsNoConverge(b *testing.B) {
 }
 
 func benchCampaignLargeGlobals(b *testing.B, noConverge bool) {
-	const words = 1 << 17 // 1 MiB of globals
-	p, err := buildImageProg(words)
+	bench, err := prog.ByName("megapixel")
 	if err != nil {
 		b.Fatal(err)
 	}
-	target, err := core.NewTargetOpts("image-1MiB", p, core.TargetOptions{NoConverge: noConverge})
+	p, err := bench.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := core.NewTargetOpts(bench.Name, p, core.TargetOptions{NoConverge: noConverge})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -434,6 +400,76 @@ func benchCampaignLargeGlobals(b *testing.B, noConverge bool) {
 			N:          perIter,
 			Seed:       uint64(i),
 			NoConverge: noConverge,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(perIter)*float64(b.N)/b.Elapsed().Seconds(), "experiments/s")
+}
+
+// BenchmarkCampaignBatchClaim ablates the experiment engine's batched
+// index claiming on the Table I qsort campaign: batch=1 is the
+// pre-engine claim-per-experiment behaviour (one shared atomic bump per
+// experiment), batch=16 the engine default. Results are bit-identical
+// either way (TestEngineClaimBatchInvariance enforces it); the delta is
+// pure claim-counter contention.
+func BenchmarkCampaignBatchClaim(b *testing.B) {
+	bench, err := prog.ByName("qsort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := bench.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := core.NewTarget(bench.Name, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const perIter = 200
+	for _, batch := range []int{1, 16} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunCampaign(core.CampaignSpec{
+					Target:     target,
+					Technique:  core.InjectOnRead,
+					Config:     core.SingleBit(),
+					N:          perIter,
+					Seed:       uint64(i),
+					ClaimBatch: batch,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(perIter)*float64(b.N)/b.Elapsed().Seconds(), "experiments/s")
+		})
+	}
+}
+
+// BenchmarkCampaignStuckAt measures the stuck-at model end to end: the
+// persistent-fault extension on the same qsort workload as
+// BenchmarkCampaignSnapshot.
+func BenchmarkCampaignStuckAt(b *testing.B) {
+	bench, err := prog.ByName("qsort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := bench.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := core.NewTarget(bench.Name, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const perIter = 200
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunStuckAt(core.StuckAtSpec{
+			Target: target,
+			Window: core.Win(100),
+			N:      perIter,
+			Seed:   uint64(i),
 		}); err != nil {
 			b.Fatal(err)
 		}

@@ -1,12 +1,18 @@
 // Command fi runs a single fault-injection campaign: one benchmark
-// program, one technique, one (max-MBF, win-size) error cluster.
+// program, one fault model, one configuration.
 //
 // Usage:
 //
 //	fi -prog CRC32 -tech read -mbf 3 -win 10 -n 10000 -seed 1
+//	fi -prog CRC32 -model stuckat -win 100 -n 10000 -seed 1
 //
-// The win flag accepts Table I notation: "0", "4", "1000" (fixed) or
-// "2-10", "101-1000" (RND ranges). mbf=1 is the single bit-flip model.
+// The default model ("flip") is the paper's transient bit-flip model: the
+// win flag is the (max-MBF, win-size) cluster's window in Table I
+// notation — "0", "4", "1000" (fixed) or "2-10", "101-1000" (RND ranges)
+// — and mbf=1 is the single bit-flip model. With -model stuckat, one
+// register bit is instead held at 0/1 across every read in a dynamic
+// window of -win instructions (the persistent-fault extension); -tech and
+// -mbf are ignored.
 package main
 
 import (
@@ -14,7 +20,6 @@ import (
 	"fmt"
 	"os"
 	"strconv"
-	"strings"
 
 	"multiflip/internal/core"
 	"multiflip/internal/prog"
@@ -25,9 +30,10 @@ import (
 func main() {
 	var (
 		progName = flag.String("prog", "CRC32", "benchmark program (see cmd/proginfo for the list)")
-		tech     = flag.String("tech", "read", `technique: "read" (inject-on-read) or "write" (inject-on-write)`)
-		mbf      = flag.Int("mbf", 1, "max-MBF: maximum bit-flip errors per run (1 = single-bit model)")
-		win      = flag.String("win", "0", `win-size: dynamic instructions between injections ("0", "100", "2-10", ...)`)
+		model    = flag.String("model", "flip", `fault model: "flip" (transient bit flips) or "stuckat" (bit held across a read window)`)
+		tech     = flag.String("tech", "read", `technique: "read" (inject-on-read) or "write" (inject-on-write); flip model only`)
+		mbf      = flag.Int("mbf", 1, "max-MBF: maximum bit-flip errors per run (1 = single-bit model); flip model only")
+		win      = flag.String("win", "", `window: injection spacing for flip ("0", "100", "2-10", ...; default 0), hold length for stuckat (default 100)`)
 		n        = flag.Int("n", 1000, "experiments in the campaign (the paper uses 10000)")
 		seed     = flag.Uint64("seed", 1, "campaign seed (campaigns are exactly reproducible)")
 		hang     = flag.Uint64("hang", core.DefaultHangFactor, "hang budget as a multiple of the fault-free dynamic instruction count")
@@ -36,13 +42,34 @@ func main() {
 		noconv   = flag.Bool("noconverge", false, "disable convergence-gated early termination and the fault-equivalence memo")
 	)
 	flag.Parse()
-	if err := run(*progName, *tech, *mbf, *win, *n, *seed, *hang, *workers, *nosnap, *noconv); err != nil {
+	if err := run(*progName, *model, *tech, *mbf, *win, *n, *seed, *hang, *workers, *nosnap, *noconv); err != nil {
 		fmt.Fprintln(os.Stderr, "fi:", err)
 		os.Exit(1)
 	}
 }
 
-func run(progName, techName string, mbf int, winSpec string, n int, seed, hang uint64, workers int, nosnap, noconv bool) error {
+func run(progName, model, techName string, mbf int, winSpec string, n int, seed, hang uint64, workers int, nosnap, noconv bool) error {
+	// Reject a bad model name or window before target preparation:
+	// profiling runs the whole golden run plus snapshot and trace
+	// capture, which is seconds of waste on a typo.
+	if model != "flip" && model != "stuckat" {
+		return fmt.Errorf("unknown model %q (want flip or stuckat)", model)
+	}
+	win := core.Win(0)
+	if model == "stuckat" {
+		win = core.Win(core.DefaultStuckWindow)
+	}
+	if winSpec != "" {
+		var err error
+		if model == "stuckat" {
+			win, err = core.ParseStuckWindow(winSpec)
+		} else {
+			win, err = core.ParseWinSize(winSpec)
+		}
+		if err != nil {
+			return err
+		}
+	}
 	b, err := prog.ByName(progName)
 	if err != nil {
 		return err
@@ -55,6 +82,13 @@ func run(progName, techName string, mbf int, winSpec string, n int, seed, hang u
 	if err != nil {
 		return err
 	}
+	if model == "stuckat" {
+		return runStuckAt(target, win, n, seed, hang, workers, nosnap, noconv)
+	}
+	return runFlip(target, techName, mbf, win, n, seed, hang, workers, nosnap, noconv)
+}
+
+func runFlip(target *core.Target, techName string, mbf int, win core.WinSize, n int, seed, hang uint64, workers int, nosnap, noconv bool) error {
 	var tech core.Technique
 	switch techName {
 	case "read":
@@ -63,10 +97,6 @@ func run(progName, techName string, mbf int, winSpec string, n int, seed, hang u
 		tech = core.InjectOnWrite
 	default:
 		return fmt.Errorf("unknown technique %q (want read or write)", techName)
-	}
-	win, err := parseWin(winSpec)
-	if err != nil {
-		return err
 	}
 	cfg := core.Config{MaxMBF: mbf, Win: win}
 	res, err := core.RunCampaign(core.CampaignSpec{
@@ -83,10 +113,35 @@ func run(progName, techName string, mbf int, winSpec string, n int, seed, hang u
 	if err != nil {
 		return err
 	}
+	title := fmt.Sprintf("Campaign: %s, %s, %s, n=%d, seed=%d (golden: %d dyn instr, %d/%d candidates)",
+		target.Name, tech, cfg, res.N(), seed, target.GoldenDyn, target.ReadCands, target.WriteCands)
+	return renderCampaign(title, &res.EngineResult)
+}
 
+func runStuckAt(target *core.Target, win core.WinSize, n int, seed, hang uint64, workers int, nosnap, noconv bool) error {
+	res, err := core.RunStuckAt(core.StuckAtSpec{
+		Target:      target,
+		Window:      win,
+		N:           n,
+		Seed:        seed,
+		HangFactor:  hang,
+		Workers:     workers,
+		NoSnapshots: nosnap,
+		NoConverge:  noconv,
+	})
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Campaign: %s, stuck-at (bit held for a %s-instruction read window), n=%d, seed=%d (golden: %d dyn instr, %d read candidates)",
+		target.Name, win, res.N(), seed, target.GoldenDyn, target.ReadCands)
+	return renderCampaign(title, &res.EngineResult)
+}
+
+// renderCampaign prints the shared outcome table every model's campaign
+// reports.
+func renderCampaign(title string, res *core.EngineResult) error {
 	t := &report.Table{
-		Title: fmt.Sprintf("Campaign: %s, %s, %s, n=%d, seed=%d (golden: %d dyn instr, %d/%d candidates)",
-			progName, tech, cfg, res.N(), seed, target.GoldenDyn, target.ReadCands, target.WriteCands),
+		Title:   title,
 		Columns: []string{"outcome", "count", "percent", "95% CI"},
 	}
 	for _, o := range core.Outcomes() {
@@ -101,22 +156,4 @@ func run(progName, techName string, mbf int, winSpec string, n int, seed, hang u
 		fmt.Sprintf("mean activated errors per experiment: %.2f", float64(res.ActivatedTotal)/float64(res.N())),
 		fmt.Sprintf("early exits: %d converged with the golden run, %d fault-equivalence memo hits", res.Converged, res.MemoHits))
 	return t.Render(os.Stdout)
-}
-
-// parseWin parses Table I win-size notation.
-func parseWin(s string) (core.WinSize, error) {
-	s = strings.TrimSpace(s)
-	if lo, hi, ok := strings.Cut(s, "-"); ok {
-		l, err1 := strconv.Atoi(lo)
-		h, err2 := strconv.Atoi(hi)
-		if err1 != nil || err2 != nil || l < 1 || h < l {
-			return core.WinSize{}, fmt.Errorf("bad win range %q", s)
-		}
-		return core.WinRange(l, h), nil
-	}
-	v, err := strconv.Atoi(s)
-	if err != nil || v < 0 {
-		return core.WinSize{}, fmt.Errorf("bad win value %q", s)
-	}
-	return core.Win(v), nil
 }

@@ -1,52 +1,18 @@
 package main
 
-import (
-	"testing"
-
-	"multiflip/internal/core"
-)
-
-func TestParseWin(t *testing.T) {
-	tests := []struct {
-		give    string
-		want    core.WinSize
-		wantErr bool
-	}{
-		{give: "0", want: core.Win(0)},
-		{give: "4", want: core.Win(4)},
-		{give: "1000", want: core.Win(1000)},
-		{give: " 10 ", want: core.Win(10)},
-		{give: "2-10", want: core.WinRange(2, 10)},
-		{give: "101-1000", want: core.WinRange(101, 1000)},
-		{give: "", wantErr: true},
-		{give: "x", wantErr: true},
-		{give: "-1", wantErr: true},
-		{give: "10-2", wantErr: true},
-		{give: "0-5", wantErr: true},
-	}
-	for _, tt := range tests {
-		got, err := parseWin(tt.give)
-		if tt.wantErr {
-			if err == nil {
-				t.Errorf("parseWin(%q) accepted, want error", tt.give)
-			}
-			continue
-		}
-		if err != nil {
-			t.Errorf("parseWin(%q): %v", tt.give, err)
-			continue
-		}
-		if got != tt.want {
-			t.Errorf("parseWin(%q) = %v, want %v", tt.give, got, tt.want)
-		}
-	}
-}
+import "testing"
 
 func TestRunRejectsUnknowns(t *testing.T) {
-	if err := run("no-such-prog", "read", 1, "0", 10, 1, 10, 1, false, false); err == nil {
+	if err := run("no-such-prog", "flip", "read", 1, "0", 10, 1, 10, 1, false, false); err == nil {
 		t.Error("unknown program accepted")
 	}
-	if err := run("CRC32", "sideways", 1, "0", 10, 1, 10, 1, false, false); err == nil {
+	if err := run("CRC32", "flip", "sideways", 1, "0", 10, 1, 10, 1, false, false); err == nil {
 		t.Error("unknown technique accepted")
+	}
+	if err := run("CRC32", "no-such-model", "read", 1, "0", 10, 1, 10, 1, false, false); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run("CRC32", "stuckat", "read", 1, "0", 10, 1, 10, 1, false, false); err == nil {
+		t.Error("stuck-at campaign with a zero window accepted")
 	}
 }

@@ -35,6 +35,8 @@ func main() {
 		transitions = flag.Bool("transitions", true, "run the transition study (Table IV)")
 		ablations   = flag.Bool("ablations", true, "run the hang-budget and alignment ablations")
 		memfaults   = flag.Bool("memfault", true, "run the memory-word multi-bit fault extension (paper future work)")
+		stuckat     = flag.Bool("stuckat", true, "run the stuck-at register-fault extension (one campaign per program)")
+		stuckwin    = flag.String("stuckwin", "", `stuck-at extension hold window in Table I notation ("100", "11-100"; empty = default)`)
 		workers     = flag.Int("workers", 0, "parallel workers per campaign (0 = GOMAXPROCS)")
 		nosnap      = flag.Bool("nosnap", false, "disable golden-run snapshot fast-forwarding (full prefix replay)")
 		noconverge  = flag.Bool("noconverge", false, "disable convergence-gated early termination and the fault-equivalence memo")
@@ -47,8 +49,8 @@ func main() {
 	if err := run(params{
 		n: *n, seed: *seed, progs: *progs, quick: *quick,
 		transitions: *transitions, ablations: *ablations, memfaults: *memfaults,
-		composition: *composition,
-		workers:     *workers, nosnap: *nosnap, noconverge: *noconverge,
+		composition: *composition, stuckat: *stuckat, stuckwin: *stuckwin,
+		workers: *workers, nosnap: *nosnap, noconverge: *noconverge,
 		out: *out, csvDir: *csvDir, verbose: *verbose,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "study:", err)
@@ -66,6 +68,8 @@ type params struct {
 	ablations   bool
 	memfaults   bool
 	composition bool
+	stuckat     bool
+	stuckwin    string
 	workers     int
 	nosnap      bool
 	noconverge  bool
@@ -104,6 +108,14 @@ func runTo(w io.Writer, p params) error {
 		Workers:     p.workers,
 		NoSnapshots: p.nosnap,
 		NoConverge:  p.noconverge,
+		NoStuckAt:   !p.stuckat,
+	}
+	if p.stuckwin != "" {
+		win, err := core.ParseStuckWindow(p.stuckwin)
+		if err != nil {
+			return fmt.Errorf("-stuckwin: %w", err)
+		}
+		opts.StuckAtWindow = win
 	}
 	if p.progs != "" {
 		// Tolerate spaces around the commas: "CRC32, basicmath" names the
@@ -131,9 +143,10 @@ func runTo(w io.Writer, p params) error {
 
 	if p.composition {
 		// Composition only needs the profile and the single-bit campaigns;
-		// shrink the multi-bit grid to its minimum.
+		// shrink the multi-bit grid to its minimum and skip the extension.
 		opts.MaxMBFs = []int{2}
 		opts.WinSizes = []core.WinSize{core.Win(0)}
+		opts.NoStuckAt = true
 		s, err := study.Run(opts)
 		if err != nil {
 			return err

@@ -1,11 +1,7 @@
 package core
 
 import (
-	"errors"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"multiflip/internal/vm"
 	"multiflip/internal/xrand"
@@ -70,6 +66,10 @@ type CampaignSpec struct {
 	HangFactor uint64
 	// Workers bounds campaign parallelism. Zero selects GOMAXPROCS.
 	Workers int
+	// ClaimBatch is the number of experiments a worker claims per atomic
+	// operation (0 = the engine default). Results are identical for any
+	// value; the knob supports the batch-claim ablation benchmark.
+	ClaimBatch int
 	// Record keeps per-experiment records in the result (needed by the
 	// transition analysis).
 	Record bool
@@ -101,21 +101,15 @@ type CampaignSpec struct {
 	Pins []Pin
 }
 
+// validate checks the engine-level fields; the model-level checks
+// (technique, config, candidates) run once inside Engine.Run via
+// RegisterModel.Validate.
 func (s *CampaignSpec) validate() error {
 	if s.Target == nil {
 		return fmt.Errorf("core: campaign needs a target")
 	}
-	if s.Technique != InjectOnRead && s.Technique != InjectOnWrite {
-		return fmt.Errorf("core: invalid technique %d", int(s.Technique))
-	}
-	if err := s.Config.validate(); err != nil {
-		return err
-	}
 	if len(s.Pins) == 0 && s.N <= 0 {
 		return fmt.Errorf("core: campaign needs N > 0 or pins")
-	}
-	if s.Target.Candidates(s.Technique) == 0 {
-		return fmt.Errorf("core: target %s has no %s candidates", s.Target.Name, s.Technique)
 	}
 	return nil
 }
@@ -124,58 +118,97 @@ func (s *CampaignSpec) validate() error {
 type CampaignResult struct {
 	// Spec echoes the campaign parameters.
 	Spec CampaignSpec
-	// Tally holds the per-outcome counts and derives the percentage and
-	// confidence-interval statistics (N, Pct, SDCPct, DetectionPct, CI95,
-	// Resilience).
-	Tally
-	// CrashActivated histograms the number of activated errors of
-	// experiments that ended in a hardware exception, capped at
-	// ActivatedCap (Fig 3's distribution).
-	CrashActivated [ActivatedCap + 1]int
-	// TrapCounts indexes OutcomeException experiments by vm.TrapKind,
-	// breaking the paper's exception category into segmentation faults,
-	// misaligned accesses, arithmetic errors, aborts and stack overflows.
-	TrapCounts [NumTrapKinds]int
-	// ActivatedTotal sums activated errors over all experiments.
-	ActivatedTotal int
-	// Converged counts experiments the VM terminated early because their
-	// injected state reconverged with the golden run. Deterministic per
-	// campaign (each experiment converges on its own).
-	Converged int
-	// MemoHits counts experiments resolved from the fault-equivalence
-	// memo: their post-injection state matched an already-executed
-	// experiment's, so the recorded outcome was reused. The count depends
-	// on worker scheduling (which equivalent experiment runs first);
-	// outcomes never do.
-	MemoHits int
-	// Experiments holds per-experiment records when Spec.Record is set.
-	Experiments []Experiment
+	// EngineResult holds the outcome tally, the activated-error and
+	// trap-kind histograms, the early-exit counters and (when
+	// Spec.Record is set) the per-experiment records.
+	EngineResult
 }
 
-// memoVal is the fault-equivalence memo's payload: the outcome of the
-// continuation from a post-injection state. Activation counts and first
-// locations stay per-experiment — they are fixed before the memo key is
-// computed.
-type memoVal struct {
-	outcome Outcome
-	trap    vm.TrapKind
+// RegisterModel is the paper's register bit-flip fault model expressed as
+// an engine FaultModel: single or multiple bit flips injected into the
+// registers an instruction reads (inject-on-read) or writes
+// (inject-on-write), clustered by (max-MBF, win-size). RunCampaign wraps
+// it; the type is exported so the engine seam tests — and campaigns
+// composed directly on the Engine — can construct it.
+type RegisterModel struct {
+	// Spec supplies the technique, the error cluster, the optional pins
+	// and the snapshot knob; its engine-level fields (N, Seed, Workers,
+	// ...) are ignored here.
+	Spec *CampaignSpec
 }
 
-// expStats reports how an experiment terminated, for the campaign's
-// early-exit accounting.
-type expStats struct {
-	converged bool
-	memoHit   bool
+// Prefix implements FaultModel.
+func (m *RegisterModel) Prefix() string { return "core" }
+
+// Validate implements FaultModel.
+func (m *RegisterModel) Validate(t *Target, n int) error {
+	s := m.Spec
+	if s.Technique != InjectOnRead && s.Technique != InjectOnWrite {
+		return fmt.Errorf("core: invalid technique %d", int(s.Technique))
+	}
+	if err := s.Config.validate(); err != nil {
+		return err
+	}
+	if t.Candidates(s.Technique) == 0 {
+		return fmt.Errorf("core: target %s has no %s candidates", t.Name, s.Technique)
+	}
+	// Pinned campaigns run exactly one experiment per pin; an engine N
+	// past the pin list would index out of range inside a worker.
+	if len(s.Pins) > 0 && n != len(s.Pins) {
+		return fmt.Errorf("core: pinned campaign needs N == len(Pins): %d vs %d", n, len(s.Pins))
+	}
+	return nil
 }
 
-// experimentHook, when non-nil, is called with each claimed experiment
-// index before it runs. Test seam: the error-propagation tests use it to
-// hold workers at a barrier so several fail concurrently.
-var experimentHook func(idx int)
+// Plan implements FaultModel: the first flip lands on a uniformly drawn
+// (or pinned) candidate, follow-up flips follow the cluster's window
+// sampler, and the experiment fast-forwards from the latest golden-run
+// snapshot preceding the first candidate. The prefix is deterministic
+// and consumes no randomness, so the outcome is bit-identical to a full
+// replay.
+func (m *RegisterModel) Plan(t *Target, idx uint64, rng *xrand.Rand) Injection {
+	s := m.Spec
+	var cand uint64
+	pinnedBit := -1
+	if len(s.Pins) > 0 {
+		pin := &s.Pins[idx]
+		cand = pin.Cand
+		pinnedBit = pin.Bit
+	} else {
+		cand = rng.Uint64n(t.Candidates(s.Technique))
+	}
+	plan := &vm.Plan{
+		OnWrite:   s.Technique == InjectOnWrite,
+		FirstCand: cand,
+		MaxFlips:  s.Config.MaxMBF,
+		PinnedBit: pinnedBit,
+		Rng:       rng,
+	}
+	switch {
+	case s.Config.IsSingle():
+		plan.SameReg = true // one flip; mode is irrelevant but cheapest
+	case s.Config.Win.IsZero():
+		plan.SameReg = true
+	default:
+		plan.NextWindow = s.Config.Win.Sampler()
+	}
+	inj := Injection{Cand: cand, Plan: plan}
+	if !s.NoSnapshots {
+		inj.Resume = t.SnapshotBefore(s.Technique, cand)
+	}
+	return inj
+}
 
-// RunCampaign executes the campaign. Experiments run in parallel but the
-// result is identical for any worker count: every experiment derives its
-// private random stream from (Seed, experiment index).
+// Record implements FaultModel.
+func (m *RegisterModel) Record(exp *Experiment, res *vm.Result) {
+	exp.Bit = res.FirstBit
+	exp.Activated = res.Injected
+}
+
+// RunCampaign executes the campaign on the shared experiment engine.
+// Experiments run in parallel but the result is identical for any worker
+// count: every experiment derives its private random stream from (Seed,
+// experiment index).
 func RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
@@ -184,201 +217,21 @@ func RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
 	if len(spec.Pins) > 0 {
 		n = len(spec.Pins)
 	}
-	workers := spec.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-
-	exps := make([]Experiment, n)
-	var (
-		next      atomic.Int64
-		failed    atomic.Bool
-		wg        sync.WaitGroup
-		errMu     sync.Mutex
-		errs      []error
-		memo      sync.Map
-		converged atomic.Int64
-		memoHits  atomic.Int64
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for !failed.Load() {
-				// The failed check gates the claim loop: once any worker
-				// errors, the whole campaign's result is discarded, so its
-				// peers must stop claiming experiments instead of running
-				// the rest of the grid for nothing.
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if h := experimentHook; h != nil {
-					h(i)
-				}
-				var pin *Pin
-				if len(spec.Pins) > 0 {
-					pin = &spec.Pins[i]
-				}
-				exp, st, err := runOne(&spec, uint64(i), pin, &memo)
-				if err != nil {
-					// Every worker's failure is collected: a grid-wide abort
-					// with several concurrent causes surfaces all of them
-					// (errors.Join), not just whichever lost the race.
-					errMu.Lock()
-					errs = append(errs, err)
-					errMu.Unlock()
-					failed.Store(true)
-					return
-				}
-				if st.converged {
-					converged.Add(1)
-				}
-				if st.memoHit {
-					memoHits.Add(1)
-				}
-				exps[i] = exp
-			}
-		}()
-	}
-	wg.Wait()
-	if len(errs) > 0 {
-		return nil, errors.Join(errs...)
-	}
-
-	res := &CampaignResult{
-		Spec:      spec,
-		Converged: int(converged.Load()),
-		MemoHits:  int(memoHits.Load()),
-	}
-	for i := range exps {
-		e := &exps[i]
-		res.Add(e.Outcome)
-		res.ActivatedTotal += e.Activated
-		if e.Outcome == OutcomeException {
-			a := e.Activated
-			if a > ActivatedCap {
-				a = ActivatedCap
-			}
-			res.CrashActivated[a]++
-			if int(e.Trap) < NumTrapKinds {
-				res.TrapCounts[e.Trap]++
-			}
-		}
-	}
-	if spec.Record {
-		res.Experiments = exps
-	}
-	return res, nil
-}
-
-// runOne performs experiment idx of the campaign.
-func runOne(spec *CampaignSpec, idx uint64, pin *Pin, memo *sync.Map) (Experiment, expStats, error) {
-	t := spec.Target
-	rng := xrand.ForExperiment(spec.Seed, idx)
-
-	var cand uint64
-	pinnedBit := -1
-	if pin != nil {
-		cand = pin.Cand
-		pinnedBit = pin.Bit
-	} else {
-		cand = rng.Uint64n(t.Candidates(spec.Technique))
-	}
-
-	plan := &vm.Plan{
-		OnWrite:   spec.Technique == InjectOnWrite,
-		FirstCand: cand,
-		MaxFlips:  spec.Config.MaxMBF,
-		PinnedBit: pinnedBit,
-		Rng:       rng,
-	}
-	switch {
-	case spec.Config.IsSingle():
-		plan.SameReg = true // one flip; mode is irrelevant but cheapest
-	case spec.Config.Win.IsZero():
-		plan.SameReg = true
-	default:
-		plan.NextWindow = spec.Config.Win.Sampler()
-	}
-
-	hangFactor := spec.HangFactor
-	if hangFactor == 0 {
-		hangFactor = DefaultHangFactor
-	}
-	// Fast-forward past the fault-free prefix: resume from the latest
-	// golden-run snapshot preceding the first injection candidate. The
-	// prefix is deterministic and consumes no randomness, so the outcome
-	// is bit-identical to a full replay.
-	var resume *vm.Snapshot
-	if !spec.NoSnapshots {
-		resume = t.SnapshotBefore(spec.Technique, cand)
-	}
-	// Convergence-gated early termination plus the fault-equivalence memo:
-	// the VM compares the post-injection state against the golden trace
-	// (terminating with the golden outcome on reconvergence) and hands us
-	// its state key at the first divergent boundary, so experiments that
-	// collapse to an already-seen injected state reuse the recorded
-	// outcome instead of re-executing.
-	trace := t.Trace
-	if spec.NoConverge {
-		trace = nil
-	}
-	var (
-		hit   memoVal
-		hitOK bool
-	)
-	var memoCheck func(vm.StateKey) bool
-	if trace != nil {
-		memoCheck = func(k vm.StateKey) bool {
-			if v, ok := memo.Load(k); ok {
-				hit = v.(memoVal)
-				hitOK = true
-				return true
-			}
-			return false
-		}
-	}
-	res, err := vm.Run(t.Prog, vm.Options{
-		MaxDyn:      hangFactor*t.GoldenDyn + 1000,
-		MaxOutput:   4*len(t.Golden) + 4096,
+	er, err := (&Engine{
+		Target:      spec.Target,
+		Model:       &RegisterModel{Spec: &spec},
+		N:           n,
+		Seed:        spec.Seed,
+		HangFactor:  spec.HangFactor,
+		Workers:     spec.Workers,
+		ClaimBatch:  spec.ClaimBatch,
+		Record:      spec.Record,
+		NoFusion:    spec.NoFusion,
+		NoConverge:  spec.NoConverge,
 		NoAlignTrap: spec.NoAlignTrap,
-		Plan:        plan,
-		Resume:      resume,
-		NoFuse:      spec.NoFusion,
-		Trace:       trace,
-		MemoCheck:   memoCheck,
-	})
+	}).Run()
 	if err != nil {
-		return Experiment{}, expStats{}, fmt.Errorf("core: %s experiment %d: %w", t.Name, idx, err)
+		return nil, err
 	}
-	var st expStats
-	var outcome Outcome
-	trap := vm.TrapNone
-	if res.Stop == vm.StopMemo && hitOK {
-		// The first injection and activation count are this experiment's
-		// own (fixed before the key was computed); only the continuation's
-		// outcome is reused.
-		outcome, trap = hit.outcome, hit.trap
-		st.memoHit = true
-	} else {
-		if res.Stop == vm.StopTrap {
-			trap = res.Trap
-		}
-		outcome = t.Classify(res)
-		st.converged = res.Converged
-		if res.PostKeyed {
-			memo.Store(res.PostKey, memoVal{outcome: outcome, trap: trap})
-		}
-	}
-	return Experiment{
-		Cand:      cand,
-		Bit:       res.FirstBit,
-		Outcome:   outcome,
-		Trap:      trap,
-		Activated: res.Injected,
-	}, st, nil
+	return &CampaignResult{Spec: spec, EngineResult: *er}, nil
 }

@@ -1,11 +1,8 @@
 package core_test
 
 import (
-	"errors"
 	"os"
 	"reflect"
-	"strings"
-	"sync"
 	"testing"
 
 	"multiflip/internal/core"
@@ -167,71 +164,6 @@ func TestCampaignMemoHit(t *testing.T) {
 	}
 }
 
-// brokenTarget returns a target whose snapshots belong to a different
-// program, so every fast-forwarded experiment fails inside vm.Run.
-func brokenTarget(t *testing.T) *core.Target {
-	t.Helper()
-	a, err := prog.ByName("CRC32")
-	if err != nil {
-		t.Fatal(err)
-	}
-	pa, err := a.Build()
-	if err != nil {
-		t.Fatal(err)
-	}
-	ta, err := core.NewTarget("CRC32", pa)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := prog.ByName("qsort")
-	if err != nil {
-		t.Fatal(err)
-	}
-	pb, err := b.Build()
-	if err != nil {
-		t.Fatal(err)
-	}
-	tb, err := core.NewTarget("qsort", pb)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ta.Snapshots = tb.Snapshots
-	ta.Trace = nil
-	return ta
-}
-
-// TestCampaignJoinsConcurrentErrors checks the errors.Join propagation: a
-// barrier in the experiment hook holds both workers until each has
-// claimed an experiment, both fail, and both failures surface in the
-// returned error instead of just whichever lost the race.
-func TestCampaignJoinsConcurrentErrors(t *testing.T) {
-	target := brokenTarget(t)
-	var barrier sync.WaitGroup
-	barrier.Add(2)
-	restore := core.SetExperimentHook(func(idx int) {
-		// Both workers must claim before either is allowed to fail, so the
-		// failed flag cannot stop the second claim.
-		barrier.Done()
-		barrier.Wait()
-	})
-	defer restore()
-	_, err := core.RunCampaign(core.CampaignSpec{
-		Target:    target,
-		Technique: core.InjectOnRead,
-		Config:    core.SingleBit(),
-		N:         2,
-		Seed:      1,
-		Workers:   2,
-	})
-	if err == nil {
-		t.Fatal("campaign on a broken target succeeded")
-	}
-	msg := err.Error()
-	if !strings.Contains(msg, "experiment 0") || !strings.Contains(msg, "experiment 1") {
-		t.Errorf("joined error misses a worker's failure: %v", err)
-	}
-	var many interface{ Unwrap() []error }
-	if !errors.As(err, &many) || len(many.Unwrap()) != 2 {
-		t.Errorf("want a 2-error join, got %v", err)
-	}
-}
+// The concurrent-failure (errors.Join) and memo-determinism tests moved
+// to engine_test.go: they are engine properties, written once against
+// core.Engine and run for all three fault models.

@@ -88,6 +88,42 @@ func TestWinSizeSampler(t *testing.T) {
 	core.Win(0).Sampler()
 }
 
+func TestParseWinSize(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    core.WinSize
+		wantErr bool
+	}{
+		{give: "0", want: core.Win(0)},
+		{give: "4", want: core.Win(4)},
+		{give: "1000", want: core.Win(1000)},
+		{give: " 10 ", want: core.Win(10)},
+		{give: "2-10", want: core.WinRange(2, 10)},
+		{give: "101-1000", want: core.WinRange(101, 1000)},
+		{give: "", wantErr: true},
+		{give: "x", wantErr: true},
+		{give: "-1", wantErr: true},
+		{give: "10-2", wantErr: true},
+		{give: "0-5", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := core.ParseWinSize(tt.give)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseWinSize(%q) accepted, want error", tt.give)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseWinSize(%q): %v", tt.give, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseWinSize(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
 func TestStandardTableI(t *testing.T) {
 	ms := core.StandardMaxMBF()
 	if len(ms) != 10 || ms[0] != 2 || ms[9] != 30 {

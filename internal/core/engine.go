@@ -1,0 +1,397 @@
+package core
+
+// The experiment engine: the paper's §III-E methodology is one loop —
+// sample a fault, run the workload, classify the outcome — repeated N
+// times per campaign. This file owns everything fault-class-independent
+// about that loop: the worker pool, batched experiment claiming,
+// per-worker sharded aggregation, failure collection, golden-run
+// fast-forwarding plumbing, convergence-trace wiring, and the
+// per-campaign fault-equivalence memo. A FaultModel contributes only the
+// fault class itself: what one experiment injects and how its record is
+// finalized. Register bit-flip campaigns (RegisterModel, campaign.go),
+// memory-word faults (memfault.Model) and stuck-at register faults
+// (StuckAtModel, stuckat.go) are all thin models over the one engine.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"multiflip/internal/vm"
+	"multiflip/internal/xrand"
+)
+
+// DefaultClaimBatch is the number of experiment indices a worker claims
+// per atomic operation. At tens of thousands of experiments per second a
+// single shared counter bumped once per experiment is measurable
+// contention; claiming chunks amortizes it. Batches only affect
+// scheduling — experiment i always draws its random stream from (Seed,
+// i) — so results are bit-identical for any batch size.
+const DefaultClaimBatch = 16
+
+// FaultModel plugs one fault class into the Engine. Implementations
+// describe a single experiment's injection; the engine owns workers,
+// claiming, execution, classification (Target.Classify), aggregation,
+// convergence and memoization. A model must be safe for concurrent use:
+// Plan is called from every worker.
+type FaultModel interface {
+	// Prefix labels engine errors ("core", "memfault", "stuckat").
+	Prefix() string
+	// Validate checks the model's parameters against the prepared target
+	// and the engine's experiment count before any experiment runs.
+	Validate(t *Target, n int) error
+	// Plan derives experiment idx's injection from the experiment's
+	// private random stream. Any randomness beyond the returned fragment
+	// (e.g. bit positions sampled at activation time) continues on the
+	// same rng inside the VM, so a model's sampling stays deterministic
+	// per (seed, idx) regardless of scheduling.
+	Plan(t *Target, idx uint64, rng *xrand.Rand) Injection
+	// Record finalizes the experiment record from the raw run result.
+	// The engine has already set Cand (from the Injection), Outcome and
+	// Trap — including for memo-resolved runs, whose outcome is reused
+	// from an equivalent experiment while activation stays their own.
+	Record(exp *Experiment, res *vm.Result)
+}
+
+// Injection is the vm.Options fragment a FaultModel contributes for one
+// experiment: the fault mechanism plus the golden-run snapshot it may
+// fast-forward from.
+type Injection struct {
+	// Cand identifies the first injection in the model's candidate space
+	// (recorded as Experiment.Cand).
+	Cand uint64
+	// Plan is the register-fault plan (nil for memory-fault models).
+	Plan *vm.Plan
+	// MemFlips are scheduled memory-word corruptions (nil for register
+	// models).
+	MemFlips []vm.MemFlip
+	// Resume is the golden-run snapshot to fast-forward from; nil replays
+	// the fault-free prefix from instruction 0.
+	Resume *vm.Snapshot
+}
+
+// Engine runs N experiments of one FaultModel over one target: the
+// model-independent half of every campaign type. Campaign front-ends
+// (RunCampaign, memfault.Run, RunStuckAt) validate their specs, wrap
+// them in a model, and delegate here.
+type Engine struct {
+	// Target is the prepared workload.
+	Target *Target
+	// Model contributes the per-experiment fault mechanism.
+	Model FaultModel
+	// N is the number of experiments.
+	N int
+	// Seed makes the run reproducible: experiment i draws its private
+	// random stream from (Seed, i) regardless of scheduling.
+	Seed uint64
+	// HangFactor scales the fault-free dynamic instruction count into the
+	// hang budget (0 = DefaultHangFactor).
+	HangFactor uint64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+	// ClaimBatch is the number of experiments a worker claims per atomic
+	// operation (0 = DefaultClaimBatch, shrunk for small N so the pool
+	// still spreads work). Results are identical for any value; the knob
+	// exists for the batch-claim ablation benchmark.
+	ClaimBatch int
+	// Record keeps per-experiment records in the result.
+	Record bool
+	// NoFusion disables superinstruction execution in every experiment.
+	NoFusion bool
+	// NoConverge disables convergence-gated early termination and the
+	// fault-equivalence memo.
+	NoConverge bool
+	// NoAlignTrap disables the misaligned-access exception (alignment
+	// ablation).
+	NoAlignTrap bool
+}
+
+// EngineResult aggregates an engine run. Campaign result types embed it,
+// so the outcome statistics (via Tally), histograms and early-exit
+// counters live in one place.
+type EngineResult struct {
+	// Tally holds the per-outcome counts and derives the percentage and
+	// confidence-interval statistics (N, Pct, SDCPct, DetectionPct, CI95,
+	// Resilience).
+	Tally
+	// CrashActivated histograms the number of activated errors of
+	// experiments that ended in a hardware exception, capped at
+	// ActivatedCap (Fig 3's distribution).
+	CrashActivated [ActivatedCap + 1]int
+	// TrapCounts indexes OutcomeException experiments by vm.TrapKind,
+	// breaking the paper's exception category into segmentation faults,
+	// misaligned accesses, arithmetic errors, aborts and stack overflows.
+	TrapCounts [NumTrapKinds]int
+	// ActivatedTotal sums activated errors over all experiments.
+	ActivatedTotal int
+	// Converged counts experiments the VM terminated early because their
+	// injected state reconverged with the golden run. Each experiment
+	// converges on its own, so the count is deterministic up to memo
+	// interception: an experiment that diverges, is memoized, and later
+	// reconverges counts here, while a fault-equivalent twin counts
+	// under MemoHits instead — unless scheduling let it run before the
+	// memo store, in which case it converges on its own too.
+	Converged int
+	// MemoHits counts experiments resolved from the fault-equivalence
+	// memo: their post-injection state matched an already-executed
+	// experiment's, so the recorded outcome was reused. The count depends
+	// on worker scheduling (which equivalent experiment runs first);
+	// outcomes never do.
+	MemoHits int
+	// Experiments holds per-experiment records when Record is set.
+	Experiments []Experiment
+}
+
+// memoVal is the fault-equivalence memo's payload: the outcome of the
+// continuation from a post-injection state. Activation counts and first
+// locations stay per-experiment — they are fixed before the memo key is
+// computed.
+type memoVal struct {
+	outcome Outcome
+	trap    vm.TrapKind
+}
+
+// expStats reports how an experiment terminated, for the engine's
+// early-exit accounting.
+type expStats struct {
+	converged bool
+	memoHit   bool
+}
+
+// engineShard is one worker's private aggregate. Workers never touch a
+// shared tally or histogram mid-run; shards merge once after the pool
+// drains, so the hot loop performs no cross-core writes beyond the
+// batched claim counter.
+type engineShard struct {
+	tally     Tally
+	crash     [ActivatedCap + 1]int
+	traps     [NumTrapKinds]int
+	activated int
+	converged int
+	memoHits  int
+	// Pad past a cache line so adjacent shards in the slice never share
+	// one (the struct tail and the next shard's head are both hot).
+	_ [64]byte
+}
+
+// add folds one experiment into the shard.
+func (sh *engineShard) add(exp *Experiment, st expStats) {
+	sh.tally.Add(exp.Outcome)
+	sh.activated += exp.Activated
+	if exp.Outcome == OutcomeException {
+		a := exp.Activated
+		if a > ActivatedCap {
+			a = ActivatedCap
+		}
+		sh.crash[a]++
+		if int(exp.Trap) < NumTrapKinds {
+			sh.traps[exp.Trap]++
+		}
+	}
+	if st.converged {
+		sh.converged++
+	}
+	if st.memoHit {
+		sh.memoHits++
+	}
+}
+
+// experimentHook, when non-nil, is called with each claimed experiment
+// index before it runs. Test seam: the error-propagation tests use it to
+// hold workers at a barrier so several fail concurrently.
+var experimentHook func(idx int)
+
+// Run executes the experiments. They run in parallel but the result is
+// identical for any worker count and claim batch: every experiment
+// derives its private random stream from (Seed, experiment index).
+func (e *Engine) Run() (*EngineResult, error) {
+	if e.Target == nil {
+		return nil, fmt.Errorf("core: engine needs a target")
+	}
+	if e.Model == nil {
+		return nil, fmt.Errorf("core: engine needs a fault model")
+	}
+	if e.N <= 0 {
+		return nil, fmt.Errorf("core: engine needs N > 0")
+	}
+	if err := e.Model.Validate(e.Target, e.N); err != nil {
+		return nil, err
+	}
+	n := e.N
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	batch := e.ClaimBatch
+	if batch <= 0 {
+		// Shrink the default for small runs so every worker still gets a
+		// share of the claim space; an explicit ClaimBatch is honoured
+		// verbatim (the ablation benchmark depends on that).
+		batch = DefaultClaimBatch
+		if m := n / workers; batch > m {
+			batch = m
+		}
+		if batch < 1 {
+			batch = 1
+		}
+	}
+
+	// Convergence-gated early termination plus the fault-equivalence
+	// memo: the VM compares the post-injection state against the golden
+	// trace (terminating with the golden outcome on reconvergence) and
+	// hands back its state key at the first divergent boundary, so
+	// experiments that collapse to an already-seen injected state reuse
+	// the recorded outcome instead of re-executing.
+	trace := e.Target.Trace
+	if e.NoConverge {
+		trace = nil
+	}
+
+	var exps []Experiment
+	if e.Record {
+		exps = make([]Experiment, n)
+	}
+	shards := make([]engineShard, workers)
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		errs   []error
+		memo   sync.Map
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(sh *engineShard) {
+			defer wg.Done()
+			for {
+				// Batched claiming: one atomic op hands this worker a chunk
+				// of indices instead of a single experiment.
+				lo := int(next.Add(int64(batch))) - batch
+				if lo >= n {
+					return
+				}
+				hi := lo + batch
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					// The failed check gates every experiment: once any
+					// worker errors, the whole run's result is discarded, so
+					// its peers must stop instead of finishing the grid for
+					// nothing.
+					if failed.Load() {
+						return
+					}
+					if h := experimentHook; h != nil {
+						h(i)
+					}
+					exp, st, err := e.runOne(uint64(i), &memo, trace)
+					if err != nil {
+						// Every worker's failure is collected: a grid-wide
+						// abort with several concurrent causes surfaces all
+						// of them (errors.Join), not just whichever lost the
+						// race.
+						errMu.Lock()
+						errs = append(errs, err)
+						errMu.Unlock()
+						failed.Store(true)
+						return
+					}
+					sh.add(&exp, st)
+					if exps != nil {
+						exps[i] = exp
+					}
+				}
+			}
+		}(&shards[w])
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+
+	res := &EngineResult{Experiments: exps}
+	for i := range shards {
+		sh := &shards[i]
+		for o, c := range sh.tally.Counts {
+			res.Counts[o] += c
+		}
+		for a, c := range sh.crash {
+			res.CrashActivated[a] += c
+		}
+		for k, c := range sh.traps {
+			res.TrapCounts[k] += c
+		}
+		res.ActivatedTotal += sh.activated
+		res.Converged += sh.converged
+		res.MemoHits += sh.memoHits
+	}
+	return res, nil
+}
+
+// runOne performs experiment idx.
+func (e *Engine) runOne(idx uint64, memo *sync.Map, trace *vm.GoldenTrace) (Experiment, expStats, error) {
+	t := e.Target
+	rng := xrand.ForExperiment(e.Seed, idx)
+	inj := e.Model.Plan(t, idx, rng)
+
+	hangFactor := e.HangFactor
+	if hangFactor == 0 {
+		hangFactor = DefaultHangFactor
+	}
+	var (
+		hit   memoVal
+		hitOK bool
+	)
+	var memoCheck func(vm.StateKey) bool
+	if trace != nil {
+		memoCheck = func(k vm.StateKey) bool {
+			if v, ok := memo.Load(k); ok {
+				hit = v.(memoVal)
+				hitOK = true
+				return true
+			}
+			return false
+		}
+	}
+	res, err := vm.Run(t.Prog, vm.Options{
+		MaxDyn:      hangFactor*t.GoldenDyn + 1000,
+		MaxOutput:   4*len(t.Golden) + 4096,
+		NoAlignTrap: e.NoAlignTrap,
+		Plan:        inj.Plan,
+		MemFlips:    inj.MemFlips,
+		Resume:      inj.Resume,
+		NoFuse:      e.NoFusion,
+		Trace:       trace,
+		MemoCheck:   memoCheck,
+	})
+	if err != nil {
+		return Experiment{}, expStats{}, fmt.Errorf("%s: %s experiment %d: %w", e.Model.Prefix(), t.Name, idx, err)
+	}
+	exp := Experiment{Cand: inj.Cand}
+	var st expStats
+	if res.Stop == vm.StopMemo && hitOK {
+		// The first injection and activation count are this experiment's
+		// own (fixed before the key was computed); only the continuation's
+		// outcome is reused.
+		exp.Outcome, exp.Trap = hit.outcome, hit.trap
+		st.memoHit = true
+	} else {
+		if res.Stop == vm.StopTrap {
+			exp.Trap = res.Trap
+		}
+		exp.Outcome = t.Classify(res)
+		st.converged = res.Converged
+		if res.PostKeyed {
+			memo.Store(res.PostKey, memoVal{outcome: exp.Outcome, trap: exp.Trap})
+		}
+	}
+	e.Model.Record(&exp, res)
+	return exp, st, nil
+}

@@ -1,0 +1,224 @@
+package core_test
+
+// Engine seam tests, written once against core.Engine and run for all
+// three fault models (register flips, memory-word faults, stuck-at
+// registers). They replace the per-package copies that used to live in
+// internal/core and internal/memfault: concurrent-failure propagation
+// and memo/scheduling determinism are engine properties, not model
+// properties.
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"multiflip/internal/core"
+	"multiflip/internal/memfault"
+)
+
+// engineModel builds an Engine for one fault model over a target. The
+// returned engine carries the model and nothing else; tests fill in N,
+// Seed, Workers and the rest.
+type engineModel struct {
+	name   string
+	prefix string // the model's error prefix
+	engine func(tg *core.Target) *core.Engine
+}
+
+func engineModels() []engineModel {
+	return []engineModel{
+		{"register", "core", func(tg *core.Target) *core.Engine {
+			return &core.Engine{Target: tg, Model: &core.RegisterModel{Spec: &core.CampaignSpec{
+				Target:    tg,
+				Technique: core.InjectOnRead,
+				Config:    core.Config{MaxMBF: 3, Win: core.Win(10)},
+			}}}
+		}},
+		{"memfault", "memfault", func(tg *core.Target) *core.Engine {
+			return &core.Engine{Target: tg, Model: &memfault.Model{Spec: &memfault.Spec{
+				Target: tg,
+				Bits:   3,
+			}}}
+		}},
+		{"stuckat", "stuckat", func(tg *core.Target) *core.Engine {
+			return &core.Engine{Target: tg, Model: &core.StuckAtModel{Spec: &core.StuckAtSpec{
+				Target: tg,
+				Window: core.Win(50),
+			}}}
+		}},
+	}
+}
+
+// brokenTarget returns a target whose snapshots belong to a different
+// program, so every fast-forwarded experiment fails inside vm.Run.
+func brokenTarget(t *testing.T) *core.Target {
+	t.Helper()
+	broken := *target(t, "CRC32")
+	broken.Snapshots = target(t, "qsort").Snapshots
+	broken.Trace = nil
+	return &broken
+}
+
+// TestEngineJoinsConcurrentErrors checks the errors.Join propagation for
+// every fault model: a barrier in the experiment hook holds both workers
+// until each has claimed an experiment, both fail, and both failures
+// surface in the returned error instead of just whichever lost the race.
+func TestEngineJoinsConcurrentErrors(t *testing.T) {
+	for _, m := range engineModels() {
+		t.Run(m.name, func(t *testing.T) {
+			eng := m.engine(brokenTarget(t))
+			eng.N = 2
+			eng.Seed = 1
+			eng.Workers = 2
+			var barrier sync.WaitGroup
+			barrier.Add(2)
+			restore := core.SetExperimentHook(func(idx int) {
+				// Both workers must claim before either is allowed to fail,
+				// so the failed flag cannot stop the second claim.
+				barrier.Done()
+				barrier.Wait()
+			})
+			defer restore()
+			_, err := eng.Run()
+			if err == nil {
+				t.Fatal("engine run on a broken target succeeded")
+			}
+			msg := err.Error()
+			if !strings.Contains(msg, m.prefix+":") {
+				t.Errorf("error misses the model prefix: %v", err)
+			}
+			if !strings.Contains(msg, "experiment 0") || !strings.Contains(msg, "experiment 1") {
+				t.Errorf("joined error misses a worker's failure: %v", err)
+			}
+			var many interface{ Unwrap() []error }
+			if !errors.As(err, &many) || len(many.Unwrap()) != 2 {
+				t.Errorf("want a 2-error join, got %v", err)
+			}
+		})
+	}
+}
+
+// TestEngineMemoDeterminism checks, for every fault model, that results
+// are independent of scheduling and of the early-exit tier: sequential
+// reruns reproduce the early-exit counts exactly, parallel runs
+// reproduce every experiment record and aggregate (only MemoHits and
+// Converged may move — whether a fault-equivalent twin is intercepted
+// by the memo or reconverges on its own depends on scheduling), and a
+// NoConverge run reproduces the records with both tiers off.
+func TestEngineMemoDeterminism(t *testing.T) {
+	tg := target(t, "CRC32")
+	for _, m := range engineModels() {
+		t.Run(m.name, func(t *testing.T) {
+			run := func(workers int, noConverge bool) *core.EngineResult {
+				eng := m.engine(tg)
+				eng.N = 80
+				eng.Seed = 21
+				eng.Workers = workers
+				eng.Record = true
+				eng.NoConverge = noConverge
+				res, err := eng.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			seq := run(1, false)
+			again := run(1, false)
+			if seq.MemoHits != again.MemoHits || seq.Converged != again.Converged {
+				t.Errorf("sequential reruns diverge: memo %d vs %d, converged %d vs %d",
+					seq.MemoHits, again.MemoHits, seq.Converged, again.Converged)
+			}
+			par := run(8, false)
+			off := run(8, true)
+			if off.MemoHits != 0 || off.Converged != 0 {
+				t.Errorf("NoConverge run reported early exits: memo %d, converged %d",
+					off.MemoHits, off.Converged)
+			}
+			for _, other := range []*core.EngineResult{again, par, off} {
+				if len(other.Experiments) != len(seq.Experiments) {
+					t.Fatalf("experiment counts differ: %d vs %d", len(other.Experiments), len(seq.Experiments))
+				}
+				for i := range seq.Experiments {
+					if seq.Experiments[i] != other.Experiments[i] {
+						t.Fatalf("experiment %d differs across runs: %+v vs %+v",
+							i, seq.Experiments[i], other.Experiments[i])
+					}
+				}
+				if seq.Counts != other.Counts || seq.TrapCounts != other.TrapCounts ||
+					seq.CrashActivated != other.CrashActivated ||
+					seq.ActivatedTotal != other.ActivatedTotal {
+					t.Errorf("aggregates diverge across runs")
+				}
+			}
+		})
+	}
+}
+
+// TestEngineClaimBatchInvariance checks that the claim batch size is
+// invisible in the results: batch=1 (the pre-engine claim-per-experiment
+// behaviour) and an oversized batch produce bit-identical experiments.
+func TestEngineClaimBatchInvariance(t *testing.T) {
+	tg := target(t, "histo")
+	for _, m := range engineModels() {
+		t.Run(m.name, func(t *testing.T) {
+			run := func(batch int) *core.EngineResult {
+				eng := m.engine(tg)
+				eng.N = 100
+				eng.Seed = 7
+				eng.Workers = 4
+				eng.ClaimBatch = batch
+				eng.Record = true
+				res, err := eng.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			one, big := run(1), run(64)
+			if one.Counts != big.Counts {
+				t.Fatalf("tallies differ across claim batches: %v vs %v", one.Counts, big.Counts)
+			}
+			for i := range one.Experiments {
+				if one.Experiments[i] != big.Experiments[i] {
+					t.Fatalf("experiment %d differs across claim batches", i)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineValidation checks the engine's own parameter validation and
+// that model validation runs before any experiment.
+func TestEngineValidation(t *testing.T) {
+	tg := target(t, "CRC32")
+	if _, err := (&core.Engine{Model: &core.StuckAtModel{Spec: &core.StuckAtSpec{}}, N: 1}).Run(); err == nil {
+		t.Error("engine without a target ran")
+	}
+	if _, err := (&core.Engine{Target: tg, N: 1}).Run(); err == nil {
+		t.Error("engine without a model ran")
+	}
+	eng := &core.Engine{Target: tg, Model: &core.StuckAtModel{Spec: &core.StuckAtSpec{Window: core.Win(50)}}}
+	if _, err := eng.Run(); err == nil {
+		t.Error("engine with N = 0 ran")
+	}
+	bad := &core.Engine{Target: tg, Model: &core.RegisterModel{Spec: &core.CampaignSpec{}}, N: 1}
+	if _, err := bad.Run(); err == nil {
+		t.Error("engine accepted an invalid model spec")
+	}
+	// An engine N past the pin list must be rejected, not index out of
+	// range inside a worker.
+	mismatched := &core.Engine{
+		Target: tg,
+		Model: &core.RegisterModel{Spec: &core.CampaignSpec{
+			Target:    tg,
+			Technique: core.InjectOnRead,
+			Config:    core.SingleBit(),
+			Pins:      []core.Pin{{Cand: 0, Bit: 1}},
+		}},
+		N: 10,
+	}
+	if _, err := mismatched.Run(); err == nil {
+		t.Error("engine accepted N != len(Pins) on a pinned register model")
+	}
+}

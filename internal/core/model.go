@@ -26,6 +26,8 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"multiflip/internal/xrand"
 )
@@ -83,6 +85,25 @@ func (w WinSize) String() string {
 		return fmt.Sprintf("RND(%d-%d)", w.Lo, w.Hi)
 	}
 	return fmt.Sprintf("%d", w.Lo)
+}
+
+// ParseWinSize parses Table I window notation: "0", "4", "1000" (fixed)
+// or "2-10", "101-1000" (RND ranges). Shared by the cmd front-ends.
+func ParseWinSize(s string) (WinSize, error) {
+	s = strings.TrimSpace(s)
+	if lo, hi, ok := strings.Cut(s, "-"); ok {
+		l, err1 := strconv.Atoi(lo)
+		h, err2 := strconv.Atoi(hi)
+		if err1 != nil || err2 != nil || l < 1 || h < l {
+			return WinSize{}, fmt.Errorf("core: bad win range %q", s)
+		}
+		return WinRange(l, h), nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 {
+		return WinSize{}, fmt.Errorf("core: bad win value %q", s)
+	}
+	return Win(v), nil
 }
 
 // Sampler returns the per-injection distance sampler used by multi-register

@@ -1,0 +1,172 @@
+package core_test
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"multiflip/internal/core"
+)
+
+// TestRunStuckAtBasic sanity-checks a stuck-at campaign: full tally,
+// activation within the window bound, and a non-degenerate outcome mix.
+func TestRunStuckAtBasic(t *testing.T) {
+	tg := target(t, "CRC32")
+	res, err := core.RunStuckAt(core.StuckAtSpec{
+		Target: tg,
+		Window: core.Win(100),
+		N:      300,
+		Seed:   1,
+		Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N() != 300 {
+		t.Fatalf("N = %d", res.N())
+	}
+	sawActive, sawInert := false, false
+	for _, e := range res.Experiments {
+		if e.Activated < 0 {
+			t.Fatalf("negative activation: %+v", e)
+		}
+		if e.Activated > 0 {
+			sawActive = true
+		} else {
+			// Zero activation is legal for stuck-at (the bit already
+			// carried the held value) and such runs must be Benign.
+			sawInert = true
+			if e.Outcome != core.OutcomeBenign {
+				t.Fatalf("zero-activation experiment classified %v", e.Outcome)
+			}
+		}
+	}
+	if !sawActive {
+		t.Error("no stuck-at experiment activated")
+	}
+	if !sawInert {
+		t.Log("note: every experiment activated (possible but unusual)")
+	}
+	if res.Count(core.OutcomeBenign) == res.N() {
+		t.Fatalf("degenerate outcome distribution: %v", res.Counts)
+	}
+}
+
+// TestStuckAtDeterministicAcrossWorkers mirrors the register-campaign
+// guarantee: results are bit-identical for any worker count.
+func TestStuckAtDeterministicAcrossWorkers(t *testing.T) {
+	tg := target(t, "histo")
+	run := func(workers int) *core.StuckAtResult {
+		res, err := core.RunStuckAt(core.StuckAtSpec{
+			Target:  tg,
+			Window:  core.WinRange(10, 200),
+			N:       150,
+			Seed:    42,
+			Workers: workers,
+			Record:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	if a.Counts != b.Counts {
+		t.Fatalf("counts differ across worker counts: %v vs %v", a.Counts, b.Counts)
+	}
+	for i := range a.Experiments {
+		if a.Experiments[i] != b.Experiments[i] {
+			t.Fatalf("experiment %d differs across worker counts", i)
+		}
+	}
+}
+
+// TestStuckAtSnapshotDifferential checks golden-run fast-forwarding is
+// invisible to the stuck-at model, like it is for the flip models.
+func TestStuckAtSnapshotDifferential(t *testing.T) {
+	for _, name := range []string{"CRC32", "qsort", "FFT"} {
+		tg := target(t, name)
+		spec := core.StuckAtSpec{
+			Target: tg,
+			Window: core.Win(50),
+			N:      60,
+			Seed:   9,
+			Record: true,
+		}
+		fast, err := core.RunStuckAt(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		spec.NoSnapshots = true
+		slow, err := core.RunStuckAt(spec)
+		if err != nil {
+			t.Fatalf("%s (nosnap): %v", name, err)
+		}
+		if !reflect.DeepEqual(fast.Experiments, slow.Experiments) {
+			t.Errorf("%s: experiments diverge between fast-forwarded and full-replay stuck-at campaigns", name)
+		}
+		if fast.Counts != slow.Counts || fast.ActivatedTotal != slow.ActivatedTotal {
+			t.Errorf("%s: aggregates diverge between fast-forwarded and full-replay stuck-at campaigns", name)
+		}
+	}
+}
+
+// TestStuckAtConvergeDifferential checks convergence-gated early
+// termination and the fault-equivalence memo stay invisible for the
+// stuck-at model, and that the early exits actually fire (a hold whose
+// register is dead reconverges immediately after the window).
+func TestStuckAtConvergeDifferential(t *testing.T) {
+	earlyExits := 0
+	for _, name := range []string{"CRC32", "sha", "histo", "qsort"} {
+		tg := target(t, name)
+		spec := core.StuckAtSpec{
+			Target: tg,
+			Window: core.Win(100),
+			N:      60,
+			Seed:   11,
+			Record: true,
+		}
+		fast, err := core.RunStuckAt(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		spec.NoConverge = true
+		slow, err := core.RunStuckAt(spec)
+		if err != nil {
+			t.Fatalf("%s (noconverge): %v", name, err)
+		}
+		if slow.Converged != 0 || slow.MemoHits != 0 {
+			t.Fatalf("%s: NoConverge stuck-at campaign reported early exits", name)
+		}
+		earlyExits += fast.Converged + fast.MemoHits
+		if !reflect.DeepEqual(fast.Experiments, slow.Experiments) {
+			t.Errorf("%s: experiments diverge between converge and no-converge stuck-at campaigns", name)
+		}
+		if fast.Counts != slow.Counts || fast.TrapCounts != slow.TrapCounts ||
+			fast.CrashActivated != slow.CrashActivated {
+			t.Errorf("%s: aggregates diverge between converge and no-converge stuck-at campaigns", name)
+		}
+	}
+	if earlyExits == 0 && os.Getenv("MULTIFLIP_NOCONVERGE") == "" {
+		t.Error("no stuck-at experiment converged or hit the memo")
+	}
+}
+
+// TestStuckAtValidationErrors checks spec validation.
+func TestStuckAtValidationErrors(t *testing.T) {
+	tg := target(t, "CRC32")
+	bad := []core.StuckAtSpec{
+		{Window: core.Win(100), N: 1},                          // no target
+		{Target: tg, Window: core.Win(100)},                    // no N
+		{Target: tg, Window: core.WinSize{Lo: 5, Hi: 2}, N: 1}, // bad range
+	}
+	for i, spec := range bad {
+		if _, err := core.RunStuckAt(spec); err == nil {
+			t.Errorf("spec %d accepted, want error", i)
+		}
+	}
+	// The zero window defaults rather than erroring.
+	if _, err := core.RunStuckAt(core.StuckAtSpec{Target: tg, N: 10, Seed: 1}); err != nil {
+		t.Errorf("defaulted window rejected: %v", err)
+	}
+}

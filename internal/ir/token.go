@@ -112,6 +112,11 @@ const (
 	// address-scaling idiom (base + index*size) that profiling showed as
 	// the hottest annotation-only pair shape.
 	FuseMulAdd
+	// FuseShlAnd is a shift-left followed by an and — the shift-and-mask
+	// idiom of FFT's bit-reversal loop (rev = rev<<1 | v&1 runs it once
+	// per bit per element), the hottest remaining annotation-only pair in
+	// the FFT profile.
+	FuseShlAnd
 	// FuseCmpEQBr .. FuseCmpSLEBr are an integer compare followed by a
 	// conditional branch on the compare's destination register.
 	FuseCmpEQBr
@@ -300,6 +305,13 @@ func fuseKind(a, b *Instr) FuseKind {
 		if (b.A.IsReg() && b.A.reg == a.Dst) || (b.B.IsReg() && b.B.reg == a.Dst) {
 			return FuseMulAdd
 		}
+	}
+	// shl followed by and — the shift-and-mask idiom of FFT's
+	// bit-reversal loop (rev<<1 ahead of v&1). The halves need not be
+	// dependent: both run the generic width-masked bodies in order, and
+	// neither can trap, so any adjacent pair is legal.
+	if a.Op == OpShl && b.Op == OpAnd {
+		return FuseShlAnd
 	}
 	// Register move + anything: the mov executes inline ahead of its
 	// successor's dispatch.

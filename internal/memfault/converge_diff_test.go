@@ -1,11 +1,8 @@
 package memfault_test
 
 import (
-	"errors"
 	"os"
 	"reflect"
-	"strings"
-	"sync"
 	"testing"
 
 	"multiflip/internal/core"
@@ -66,57 +63,7 @@ func TestMemFaultConvergeDifferential(t *testing.T) {
 	}
 }
 
-// TestMemFaultJoinsConcurrentErrors mirrors the campaign error-join test:
-// both workers fail concurrently (a barrier holds them until both have
-// claimed), and both failures surface via errors.Join.
-func TestMemFaultJoinsConcurrentErrors(t *testing.T) {
-	target := target(t, "CRC32")
-	other := target2(t, "qsort")
-	broken := *target
-	broken.Snapshots = other.Snapshots
-	broken.Trace = nil
-	var barrier sync.WaitGroup
-	barrier.Add(2)
-	restore := memfault.SetExperimentHook(func(idx int) {
-		barrier.Done()
-		barrier.Wait()
-	})
-	defer restore()
-	_, err := memfault.Run(memfault.Spec{
-		Target:  &broken,
-		Bits:    3,
-		N:       2,
-		Seed:    1,
-		Workers: 2,
-	})
-	if err == nil {
-		t.Fatal("memfault campaign on a broken target succeeded")
-	}
-	msg := err.Error()
-	if !strings.Contains(msg, "experiment 0") || !strings.Contains(msg, "experiment 1") {
-		t.Errorf("joined error misses a worker's failure: %v", err)
-	}
-	var many interface{ Unwrap() []error }
-	if !errors.As(err, &many) || len(many.Unwrap()) != 2 {
-		t.Errorf("want a 2-error join, got %v", err)
-	}
-}
-
-// target2 builds a second prepared workload (helper alongside target in
-// memfault_test.go).
-func target2(t *testing.T, name string) *core.Target {
-	t.Helper()
-	bench, err := prog.ByName(name)
-	if err != nil {
-		t.Fatal(err)
-	}
-	p, err := bench.Build()
-	if err != nil {
-		t.Fatal(err)
-	}
-	tgt, err := core.NewTarget(name, p)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return tgt
-}
+// The concurrent-failure (errors.Join) test moved to the engine seam
+// suite in internal/core/engine_test.go: it is an engine property,
+// written once against core.Engine and run for all three fault models
+// (including this package's Model).

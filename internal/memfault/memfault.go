@@ -11,14 +11,14 @@
 // Unlike register faults, memory faults are not filtered for liveness: a
 // corrupted word may never be read again, so low activation — a high
 // Benign share — is part of the phenomenon being measured.
+//
+// The campaign itself — workers, batched claiming, sharded aggregation,
+// convergence and the fault-equivalence memo — is the shared experiment
+// engine in internal/core; this package contributes only the Model.
 package memfault
 
 import (
-	"errors"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"multiflip/internal/core"
 	"multiflip/internal/vm"
@@ -61,18 +61,15 @@ type Spec struct {
 	Record bool
 }
 
+// validate checks the engine-level fields; the model-level checks (bit
+// count, global segment size) run once inside core.Engine.Run via
+// Model.Validate.
 func (s *Spec) validate() error {
 	if s.Target == nil {
 		return fmt.Errorf("memfault: campaign needs a target")
 	}
-	if s.Bits < 1 || s.Bits > 64 {
-		return fmt.Errorf("memfault: bits must be in [1,64], got %d", s.Bits)
-	}
 	if s.N <= 0 {
 		return fmt.Errorf("memfault: campaign needs N > 0")
-	}
-	if len(s.Target.Prog.Globals) < 8 {
-		return fmt.Errorf("memfault: target %s has no global words", s.Target.Name)
 	}
 	return nil
 }
@@ -86,7 +83,8 @@ type Result struct {
 	// shared with the register campaigns in internal/core.
 	core.Tally
 	// Converged counts experiments the VM terminated early because their
-	// corrupted state reconverged with the golden run (deterministic).
+	// corrupted state reconverged with the golden run (deterministic up
+	// to memo interception — see core.EngineResult.Converged).
 	Converged int
 	// MemoHits counts experiments resolved from the fault-equivalence
 	// memo (dependent on worker scheduling; outcomes never are).
@@ -95,144 +93,87 @@ type Result struct {
 	Outcomes []core.Outcome
 }
 
-// experimentHook, when non-nil, is called with each claimed experiment
-// index before it runs. Test seam for the error-propagation tests.
-var experimentHook func(idx int)
+// Model is the memory-word fault class expressed as an engine FaultModel:
+// k distinct bits of one uniformly drawn 64-bit global word flipped at a
+// uniformly sampled dynamic instant. Run wraps it; the type is exported
+// so the engine seam tests — and campaigns composed directly on
+// core.Engine — can construct it.
+type Model struct {
+	// Spec supplies the flip count and the snapshot knob; its
+	// engine-level fields (N, Seed, Workers, ...) are ignored here.
+	Spec *Spec
+}
 
-// Run executes the campaign. Like register campaigns, results are
-// reproducible for any worker count.
+// Prefix implements core.FaultModel.
+func (m *Model) Prefix() string { return "memfault" }
+
+// Validate implements core.FaultModel.
+func (m *Model) Validate(t *core.Target, n int) error {
+	if m.Spec.Bits < 1 || m.Spec.Bits > 64 {
+		return fmt.Errorf("memfault: bits must be in [1,64], got %d", m.Spec.Bits)
+	}
+	if len(t.Prog.Globals) < 8 {
+		return fmt.Errorf("memfault: target %s has no global words", t.Name)
+	}
+	return nil
+}
+
+// Plan implements core.FaultModel: the corruption instant, the word and
+// the bit mask all come from the experiment's private stream, and the
+// experiment fast-forwards from the latest golden-run snapshot at or
+// before the instant (the corruption is scheduled by dynamic instant
+// rather than by candidate index). Experiment.Cand records the instant.
+func (m *Model) Plan(t *core.Target, idx uint64, rng *xrand.Rand) core.Injection {
+	words := uint64(len(t.Prog.Globals)) / 8
+	flip := vm.MemFlip{
+		AtDyn: rng.Uint64n(t.GoldenDyn),
+		Word:  rng.Uint64n(words) * 8,
+		Mask:  rng.DistinctBits(m.Spec.Bits, 64),
+	}
+	inj := core.Injection{Cand: flip.AtDyn, MemFlips: []vm.MemFlip{flip}}
+	if !m.Spec.NoSnapshots {
+		inj.Resume = t.SnapshotBeforeDyn(flip.AtDyn)
+	}
+	return inj
+}
+
+// Record implements core.FaultModel.
+func (m *Model) Record(exp *core.Experiment, res *vm.Result) {
+	exp.Bit = res.FirstBit
+	exp.Activated = res.Injected
+}
+
+// Run executes the campaign on the shared experiment engine. Like
+// register campaigns, results are reproducible for any worker count.
 func Run(spec Spec) (*Result, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
-	workers := spec.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > spec.N {
-		workers = spec.N
-	}
-	hangFactor := spec.HangFactor
-	if hangFactor == 0 {
-		hangFactor = core.DefaultHangFactor
-	}
-	t := spec.Target
-	words := uint64(len(t.Prog.Globals)) / 8
-
-	// Convergence-gated early termination plus the fault-equivalence memo
-	// (see core.RunCampaign): experiments whose corrupted word is
-	// overwritten before it is read reconverge with the golden run and
-	// terminate at the next event-horizon boundary, and experiments that
-	// collapse to an already-seen corrupted state reuse the recorded
-	// outcome.
-	trace := t.Trace
-	if spec.NoConverge {
-		trace = nil
-	}
-
-	outcomes := make([]core.Outcome, spec.N)
-	var (
-		next      atomic.Int64
-		failed    atomic.Bool
-		wg        sync.WaitGroup
-		errMu     sync.Mutex
-		errs      []error
-		memo      sync.Map
-		converged atomic.Int64
-		memoHits  atomic.Int64
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for !failed.Load() {
-				// Stop claiming experiments once any worker errored: the
-				// campaign aborts and every further result is discarded.
-				i := int(next.Add(1)) - 1
-				if i >= spec.N {
-					return
-				}
-				if h := experimentHook; h != nil {
-					h(i)
-				}
-				rng := xrand.ForExperiment(spec.Seed, uint64(i))
-				flip := vm.MemFlip{
-					AtDyn: rng.Uint64n(t.GoldenDyn),
-					Word:  rng.Uint64n(words) * 8,
-					Mask:  rng.DistinctBits(spec.Bits, 64),
-				}
-				// Fast-forward past the fault-free prefix: the corruption
-				// instant is known up front, so resume from the latest
-				// golden-run snapshot at or before it. The prefix is
-				// deterministic and consumes no randomness, so the outcome
-				// is bit-identical to a full replay.
-				var resume *vm.Snapshot
-				if !spec.NoSnapshots {
-					resume = t.SnapshotBeforeDyn(flip.AtDyn)
-				}
-				var (
-					hit   core.Outcome
-					hitOK bool
-				)
-				var memoCheck func(vm.StateKey) bool
-				if trace != nil {
-					memoCheck = func(k vm.StateKey) bool {
-						if v, ok := memo.Load(k); ok {
-							hit = v.(core.Outcome)
-							hitOK = true
-							return true
-						}
-						return false
-					}
-				}
-				res, err := vm.Run(t.Prog, vm.Options{
-					MaxDyn:    hangFactor*t.GoldenDyn + 1000,
-					MaxOutput: 4*len(t.Golden) + 4096,
-					MemFlips:  []vm.MemFlip{flip},
-					Resume:    resume,
-					NoFuse:    spec.NoFusion,
-					Trace:     trace,
-					MemoCheck: memoCheck,
-				})
-				if err != nil {
-					// Collect every worker's failure (errors.Join below), not
-					// just whichever surfaced first.
-					errMu.Lock()
-					errs = append(errs, fmt.Errorf("memfault: %s experiment %d: %w", t.Name, i, err))
-					errMu.Unlock()
-					failed.Store(true)
-					return
-				}
-				if res.Stop == vm.StopMemo && hitOK {
-					outcomes[i] = hit
-					memoHits.Add(1)
-					continue
-				}
-				o := t.Classify(res)
-				outcomes[i] = o
-				if res.Converged {
-					converged.Add(1)
-				}
-				if res.PostKeyed {
-					memo.Store(res.PostKey, o)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if len(errs) > 0 {
-		return nil, errors.Join(errs...)
+	er, err := (&core.Engine{
+		Target:     spec.Target,
+		Model:      &Model{Spec: &spec},
+		N:          spec.N,
+		Seed:       spec.Seed,
+		HangFactor: spec.HangFactor,
+		Workers:    spec.Workers,
+		Record:     spec.Record,
+		NoFusion:   spec.NoFusion,
+		NoConverge: spec.NoConverge,
+	}).Run()
+	if err != nil {
+		return nil, err
 	}
 	r := &Result{
 		Spec:      spec,
-		Converged: int(converged.Load()),
-		MemoHits:  int(memoHits.Load()),
-	}
-	for _, o := range outcomes {
-		r.Add(o)
+		Tally:     er.Tally,
+		Converged: er.Converged,
+		MemoHits:  er.MemoHits,
 	}
 	if spec.Record {
-		r.Outcomes = outcomes
+		r.Outcomes = make([]core.Outcome, len(er.Experiments))
+		for i := range er.Experiments {
+			r.Outcomes[i] = er.Experiments[i].Outcome
+		}
 	}
 	return r, nil
 }

@@ -71,6 +71,52 @@ func TestByNameUnknown(t *testing.T) {
 	}
 }
 
+// TestExtrasAddressable checks the named extras resolve through ByName
+// without entering the Table II registry.
+func TestExtrasAddressable(t *testing.T) {
+	for _, b := range Extras() {
+		got, err := ByName(b.Name)
+		if err != nil {
+			t.Fatalf("extra %s not addressable: %v", b.Name, err)
+		}
+		if got.Suite != SuiteSynthetic {
+			t.Errorf("%s: suite = %q, want %q", b.Name, got.Suite, SuiteSynthetic)
+		}
+		for _, name := range Names() {
+			if name == b.Name {
+				t.Errorf("extra %s leaked into the Table II name list", b.Name)
+			}
+		}
+	}
+}
+
+// TestMegapixelMatchesReference pins the megapixel workload against its
+// host-side reference: same fill recurrence, same in-place mix order,
+// same sparse checksum — and checks it really is image-scale.
+func TestMegapixelMatchesReference(t *testing.T) {
+	b, err := ByName("megapixel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(p.Globals), 8*MegapixelWords; got != want {
+		t.Fatalf("global segment = %d bytes, want %d (1 MiB)", got, want)
+	}
+	res, err := vm.Profile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := refMegapixel(); !bytes.Equal(res.Output, want) {
+		t.Fatalf("megapixel output %x diverges from reference %x", res.Output, want)
+	}
+	if res.Dyn < uint64(MegapixelWords) {
+		t.Fatalf("dynamic count %d implausibly small for %d words", res.Dyn, MegapixelWords)
+	}
+}
+
 func TestAllBenchmarksBuildAndProfile(t *testing.T) {
 	for _, b := range All() {
 		b := b

@@ -129,6 +129,27 @@ func (s *Study) Answers(trans map[string]map[core.Technique]*TransitionResult) *
 					sumI/n, sumII/n, minPrune, maxPrune))
 		}
 	}
+
+	// EXT: the stuck-at extension — does the persistent model change the
+	// picture relative to the single transient flip?
+	var stuckSDC, flipSDC, activated float64
+	progs := 0
+	for _, name := range s.Programs {
+		d := s.Data[name]
+		if d.StuckAt == nil {
+			continue
+		}
+		progs++
+		stuckSDC += d.StuckAt.SDCPct()
+		flipSDC += d.Single[core.InjectOnRead].SDCPct()
+		activated += float64(d.StuckAt.ActivatedTotal) / float64(d.StuckAt.N())
+	}
+	if progs > 0 {
+		n := float64(progs)
+		t.AddRow("EXT", "stuck-at",
+			fmt.Sprintf("bit held across a %s-instruction read window: mean SDC %s%% vs single transient flip %s%% (read); mean %.1f value-changing reads per experiment",
+				s.Opts.StuckAtWindow, stats.FormatPct(stuckSDC/n), stats.FormatPct(flipSDC/n), activated/n))
+	}
 	return t
 }
 

@@ -46,6 +46,33 @@ func TestEarlyExitTable(t *testing.T) {
 	}
 }
 
+// TestNoStuckAt checks the stuck-at extension opt-out: no campaigns run
+// and neither the stuck-at table nor the EXT answers row is rendered.
+func TestNoStuckAt(t *testing.T) {
+	opts := tinyOpts()
+	opts.Programs = []string{"CRC32"}
+	opts.MaxMBFs = []int{2}
+	opts.WinSizes = []core.WinSize{core.Win(0), core.Win(1)}
+	opts.NoStuckAt = true
+	s, err := study.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Data["CRC32"].StuckAt != nil {
+		t.Error("NoStuckAt study ran a stuck-at campaign")
+	}
+	var b strings.Builder
+	if err := s.RenderAll(&b, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "stuck-at register faults") {
+		t.Error("NoStuckAt study rendered the stuck-at table")
+	}
+	if strings.Contains(b.String(), "EXT") {
+		t.Error("NoStuckAt study rendered the EXT answers row")
+	}
+}
+
 // TestStudyNoConvergeDifferential runs a reduced study with the
 // convergence tier disabled and checks the rendered outcome figures are
 // byte-identical to the default study's — the study-level version of the

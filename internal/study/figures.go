@@ -300,8 +300,48 @@ func (s *Study) EarlyExit() *report.Table {
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
-		"conv% = experiments whose injected state reconverged bit-identically with the golden run and terminated with its outcome (deterministic).",
-		"memo% = experiments whose post-injection state matched an earlier experiment's, reusing its recorded outcome (depends on worker scheduling; outcomes do not).")
+		"conv% = experiments whose injected state reconverged bit-identically with the golden run and terminated with its outcome.",
+		"memo% = experiments whose post-injection state matched an earlier experiment's, reusing its recorded outcome.",
+		"The conv/memo split (never the outcomes) can shift with worker scheduling: a fault-equivalent twin either hits the memo or reconverges on its own.")
+	return t
+}
+
+// StuckAtTable renders the stuck-at extension: the outcome
+// classification of the per-program stuck-at campaigns (one register bit
+// held at 0/1 across every read in the configured window) with the
+// single-bit transient flip campaign's SDC% alongside, so the persistent
+// and transient models compare directly.
+func (s *Study) StuckAtTable() *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("Extension: stuck-at register faults (bit held across a %s-instruction read window)",
+			s.Opts.StuckAtWindow),
+		Columns: []string{"program", "Benign", "HWException", "Hang", "NoOutput",
+			"Detection", "SDC", "flip SDC (read)", "mean activated"},
+	}
+	for _, name := range s.Programs {
+		d := s.Data[name]
+		r := d.StuckAt
+		if r == nil {
+			continue
+		}
+		n := r.N()
+		cell := func(o core.Outcome) string {
+			return stats.FormatPctCI(r.Pct(o), stats.NormalCI95(r.Count(o), n))
+		}
+		det := r.Count(core.OutcomeException) + r.Count(core.OutcomeHang) + r.Count(core.OutcomeNoOutput)
+		t.AddRow(name,
+			cell(core.OutcomeBenign),
+			cell(core.OutcomeException),
+			cell(core.OutcomeHang),
+			cell(core.OutcomeNoOutput),
+			stats.FormatPctCI(r.DetectionPct(), stats.NormalCI95(det, n)),
+			cell(core.OutcomeSDC),
+			stats.FormatPct(d.Single[core.InjectOnRead].SDCPct()),
+			fmt.Sprintf("%.2f", float64(r.ActivatedTotal)/float64(n)))
+	}
+	t.Notes = append(t.Notes,
+		"Stuck-at faults are persistent: the bit is re-forced at every read in the window, so a rewrite does not clear the error as it does for transient flips.",
+		"Activation counts value-changing reads; zero-activation experiments (the bit already held the stuck value) are Benign by construction.")
 	return t
 }
 

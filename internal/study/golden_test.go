@@ -67,6 +67,7 @@ func TestGoldenFigures(t *testing.T) {
 	}
 	checkGolden(t, "table3", t3.String())
 	checkGolden(t, "pruning-dividend", s.PruningDividend().String())
+	checkGolden(t, "stuckat", s.StuckAtTable().String())
 }
 
 // TestGoldenAnswers pins the rendered research-question answers, both

@@ -49,6 +49,9 @@ func (s *Study) Tables(withTransitions bool) ([]*report.Table, error) {
 		}
 		tables = append(tables, s.TableIV(trans))
 	}
+	if !s.Opts.NoStuckAt {
+		tables = append(tables, s.StuckAtTable())
+	}
 	return append(tables, s.PruningDividend(), s.EarlyExit(), s.Answers(trans)), nil
 }
 

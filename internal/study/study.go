@@ -30,6 +30,13 @@ type Options struct {
 	MaxMBFs []int
 	// WinSizes overrides Table I's win-size grid (empty = standard).
 	WinSizes []core.WinSize
+	// StuckAtWindow is the hold window of the stuck-at extension
+	// campaign run per program alongside the flip grid (zero =
+	// core.DefaultStuckWindow).
+	StuckAtWindow core.WinSize
+	// NoStuckAt skips the stuck-at extension campaigns entirely; the
+	// stuck-at table and the EXT answers row are then omitted.
+	NoStuckAt bool
 	// Workers bounds per-campaign parallelism (0 = GOMAXPROCS).
 	Workers int
 	// HangFactor scales the hang budget (0 = core.DefaultHangFactor).
@@ -60,6 +67,9 @@ func (o Options) withDefaults() Options {
 	if len(o.WinSizes) == 0 {
 		o.WinSizes = core.StandardWinSizes()
 	}
+	if o.StuckAtWindow == (core.WinSize{}) {
+		o.StuckAtWindow = core.Win(core.DefaultStuckWindow)
+	}
 	return o
 }
 
@@ -73,6 +83,9 @@ type ProgData struct {
 	// Multi maps technique -> multi-bit campaigns in grid enumeration
 	// order (max-MBF major, win-size minor).
 	Multi map[core.Technique][]*core.CampaignResult
+	// StuckAt is the stuck-at extension campaign: one register bit held
+	// at 0/1 across every read in the configured window.
+	StuckAt *core.StuckAtResult
 }
 
 // MultiByConfig returns the campaign for a configuration, or nil.
@@ -193,7 +206,39 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 			}
 		}
 	}
+	if opts.NoStuckAt {
+		return d, nil
+	}
+	// The stuck-at extension rides the same engine: one campaign per
+	// program, anchored in the inject-on-read candidate space.
+	logf(opts.Log, "%s stuck-at: window %s (n=%d)", name, opts.StuckAtWindow, opts.N)
+	stuck, err := core.RunStuckAt(core.StuckAtSpec{
+		Target:      target,
+		Window:      opts.StuckAtWindow,
+		N:           opts.N,
+		Seed:        stuckSeed(opts.Seed, name, opts.StuckAtWindow),
+		HangFactor:  opts.HangFactor,
+		Workers:     opts.Workers,
+		NoSnapshots: opts.NoSnapshots,
+		NoConverge:  opts.NoConverge,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.StuckAt = stuck
 	return d, nil
+}
+
+// stuckSeed derives a stable seed per (study seed, program, window) for
+// the stuck-at extension, disjoint from the flip campaigns' seeds.
+func stuckSeed(seed uint64, name string, win core.WinSize) uint64 {
+	h := seed ^ 0x13198a2e03707344 // distinct stream from campaignSeed
+	for _, c := range []byte(name) {
+		h = h*1099511628211 + uint64(c)
+	}
+	h ^= uint64(uint32(win.Lo)) << 16
+	h ^= uint64(uint32(win.Hi))
+	return xrand.SplitMix64(&h)
 }
 
 // campaignSeed derives a stable seed per (study seed, program, technique,

@@ -47,6 +47,9 @@ func TestRunShape(t *testing.T) {
 		if d == nil {
 			t.Fatalf("no data for %s", name)
 		}
+		if d.StuckAt == nil || d.StuckAt.N() != 60 {
+			t.Fatalf("%s: stuck-at extension campaign missing or wrong size", name)
+		}
 		for _, tech := range core.Techniques() {
 			if d.Single[tech] == nil {
 				t.Fatalf("%s: no single campaign for %s", name, tech)
@@ -194,7 +197,7 @@ func TestRenderAll(t *testing.T) {
 	out := b.String()
 	for _, want := range []string{"Table I", "Table II", "Figure 1", "Figure 2",
 		"Figure 3", "Figure 4", "Figure 5", "Table III", "Pruning dividend",
-		"Candidate composition", "Exception breakdown", "RQ1"} {
+		"Candidate composition", "Exception breakdown", "stuck-at", "RQ1", "EXT"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("RenderAll missing %q", want)
 		}

@@ -73,6 +73,79 @@ func TestFusionDifferentialWorkloads(t *testing.T) {
 	}
 }
 
+// TestFuseShlAndAnnotated pins the FuseShlAnd promotion: FFT's
+// bit-reversal loop must carry executed shl+and superinstructions (not
+// the annotation-only FusePair it carried before the promotion).
+func TestFuseShlAndAnnotated(t *testing.T) {
+	bench, err := prog.ByName("FFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := bench.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, f := range p.Funcs {
+		for pc := range f.Code {
+			if f.Code[pc].FTok == ir.FuseShlAnd {
+				count++
+				if f.Code[pc].Op != ir.OpShl || f.Code[pc+1].Op != ir.OpAnd {
+					t.Fatalf("FuseShlAnd on a %s+%s pair", f.Code[pc].Op, f.Code[pc+1].Op)
+				}
+			}
+		}
+	}
+	if count == 0 {
+		t.Fatal("FFT carries no FuseShlAnd superinstruction")
+	}
+}
+
+// TestFuseShlAndDifferential exercises the shl+and superinstruction in
+// both shapes — the and depending on the shift's destination, and the
+// independent adjacent pair FFT's bit-reversal uses — against unfused
+// dispatch, across mixed widths.
+func TestFuseShlAndDifferential(t *testing.T) {
+	mb := ir.NewModule("shl-and")
+	g := mb.GlobalU64s([]uint64{0xfedcba9876543210})
+	f := mb.Func("main", 0)
+	v := f.Load64(ir.C(g), 0)
+	f.For(ir.C(0), ir.C(64), func(i ir.Reg) {
+		// Dependent: and reads the shift's destination.
+		s := f.BinW(ir.W64, ir.OpShl, v, i)
+		m := f.BinW(ir.W64, ir.OpAnd, s, ir.C(0xff00ff00ff00ff00))
+		// Independent: adjacent shl+and with disjoint operands (the FFT
+		// idiom), at a different width.
+		s2 := f.Shl(v, ir.C(1))
+		m2 := f.And(v, ir.C(1))
+		f.Out64(m)
+		f.Out32(f.Add(s2, m2))
+	})
+	f.RetVoid()
+	p := mb.MustBuild()
+
+	shlAnds := 0
+	for _, fn := range p.Funcs {
+		for pc := range fn.Code {
+			if fn.Code[pc].FTok == ir.FuseShlAnd {
+				shlAnds++
+			}
+		}
+	}
+	if shlAnds < 2 {
+		t.Fatalf("expected both shl+and shapes annotated, got %d", shlAnds)
+	}
+	fused, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfused, err := Run(p, Options{NoFuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "shl+and unfused vs fused", unfused, fused)
+}
+
 // TestFusionCheckpointDifferential pins the interaction of fusion with
 // golden-run checkpointing: fused and unfused checkpointing runs place
 // snapshots at identical dynamic indices (the event horizon forces pairs

@@ -46,17 +46,48 @@ type Plan struct {
 	// the paper's §IV-C3 reruns, which start multi-bit experiments at the
 	// exact locations of earlier single-bit experiments.
 	PinnedBit int
+	// Stuck selects the stuck-at model instead of transient flips: the
+	// first candidate's register has one bit held at a constant value
+	// (StuckHigh) across every read of that register that can observe it
+	// (the reading slot's width covers the bit — the transient model's
+	// flip-within-slot-width rule), for HoldWindow dynamic instructions
+	// starting at the first candidate's instruction. The hold ends early
+	// when the activation frame returns — the register file is
+	// per-frame, so the faulty register has no identity beyond it. Only
+	// inject-on-read is meaningful (OnWrite must be false); MaxFlips,
+	// SameReg and NextWindow are ignored. Each observing read whose
+	// value the hold actually changes counts as one activated error, so
+	// Result.Injected can be zero (the bit already carried the held
+	// value, or the register was never read again in the window).
+	Stuck bool
+	// StuckHigh selects the held value: true = stuck-at-1, false =
+	// stuck-at-0.
+	StuckHigh bool
+	// HoldWindow is the dynamic length of the hold in instructions; must
+	// be >= 1 when Stuck is set.
+	HoldWindow uint64
 }
 
 var (
-	errPlanRng    = errors.New("vm: plan requires an Rng")
-	errPlanFlips  = errors.New("vm: plan requires MaxFlips >= 1")
-	errPlanWindow = errors.New("vm: multi-register plan requires NextWindow")
+	errPlanRng         = errors.New("vm: plan requires an Rng")
+	errPlanFlips       = errors.New("vm: plan requires MaxFlips >= 1")
+	errPlanWindow      = errors.New("vm: multi-register plan requires NextWindow")
+	errPlanStuckWrite  = errors.New("vm: stuck-at plan requires the inject-on-read technique")
+	errPlanStuckWindow = errors.New("vm: stuck-at plan requires HoldWindow >= 1")
 )
 
 func (p *Plan) validate() error {
 	if p.Rng == nil {
 		return errPlanRng
+	}
+	if p.Stuck {
+		if p.OnWrite {
+			return errPlanStuckWrite
+		}
+		if p.HoldWindow < 1 {
+			return errPlanStuckWindow
+		}
+		return nil
 	}
 	if p.MaxFlips < 1 {
 		return errPlanFlips
@@ -72,6 +103,10 @@ func (p *Plan) validate() error {
 // read-slot count.
 func (m *machine) maybeInjectRead(di uint64, in *ir.Instr, regs []uint64, nr int) {
 	p := m.plan
+	if p.Stuck {
+		m.stuckRead(di, in, regs, nr)
+		return
+	}
 	if !m.firstDone {
 		if nr == 0 || m.readSlots+uint64(nr) <= p.FirstCand {
 			return
@@ -150,6 +185,77 @@ func (m *machine) applyFirst(di uint64, regs []uint64, reg ir.Reg, wbits int) {
 		return
 	}
 	m.nextDyn = di + p.NextWindow(p.Rng)
+}
+
+// stuckRead drives the stuck-at model (Plan.Stuck): the first due
+// candidate picks the held register and bit, and every later read of
+// that register forces the bit to the held value until the window
+// elapses or the activation frame returns. Frames deeper than the
+// activation frame (callees) have their own register files and are
+// skipped; a *different* frame at the activation depth is unreachable
+// while the hold is live, because replacing it requires first executing
+// an instruction at a shallower depth, which deactivates here.
+func (m *machine) stuckRead(di uint64, in *ir.Instr, regs []uint64, nr int) {
+	p := m.plan
+	if !m.firstDone {
+		if nr == 0 || m.readSlots+uint64(nr) <= p.FirstCand {
+			return
+		}
+		slot := int(p.FirstCand - m.readSlots)
+		reg := in.ReadSlot(slot)
+		wbits := ir.SlotWidth(in, slot).Bits()
+		bit := p.PinnedBit
+		if bit < 0 {
+			bit = p.Rng.Intn(wbits)
+		} else {
+			bit %= wbits
+		}
+		m.firstDone = true
+		m.firstBit = bit
+		m.holdReg = reg
+		m.holdBit = bit
+		m.holdEnd = di + p.HoldWindow
+		m.holdDepth = len(m.frames)
+		m.forceHeld(di, regs)
+		return
+	}
+	if di >= m.holdEnd || len(m.frames) < m.holdDepth {
+		m.endPlan()
+		return
+	}
+	if len(m.frames) != m.holdDepth {
+		return // inside a callee: its registers are not the held register
+	}
+	for s := 0; s < nr; s++ {
+		if in.ReadSlot(s) != m.holdReg {
+			continue
+		}
+		// The read observes the held bit only when its slot width covers
+		// it: a narrower read is not corrupted and must neither force the
+		// register nor count an activation — the transient model's
+		// flip-within-slot-width rule, applied per read. One clamp covers
+		// every observing slot (the register itself is forced).
+		if m.holdBit < ir.SlotWidth(in, s).Bits() {
+			m.forceHeld(di, regs)
+			return
+		}
+	}
+}
+
+// forceHeld clamps the held bit to the stuck value, counting an
+// activated error only when the read value actually changes.
+func (m *machine) forceHeld(di uint64, regs []uint64) {
+	mask := uint64(1) << uint(m.holdBit)
+	old := regs[m.holdReg]
+	nv := old &^ mask
+	if m.plan.StuckHigh {
+		nv = old | mask
+	}
+	if nv != old {
+		regs[m.holdReg] = nv
+		m.injected++
+		m.injDyns = append(m.injDyns, di)
+	}
 }
 
 // applyFollow performs a follow-up injection (multi-register mode).

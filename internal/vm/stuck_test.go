@@ -1,0 +1,236 @@
+package vm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"multiflip/internal/ir"
+	"multiflip/internal/xrand"
+)
+
+// stuckTarget builds a straight-line program whose register v is read
+// three times with rewrites in between, so a held bit is re-forced where
+// a transient flip would decay:
+//
+//	v = 0;  a = v + 0     // read slot 0
+//	v = 0;  b = v + 0     // read slot 1
+//	v = 64; c = v + 0     // read slot 2
+//	out a, b, c           // read slots 3, 4, 5
+func stuckTarget() *ir.Program {
+	mb := ir.NewModule("stuck")
+	f := mb.Func("main", 0)
+	v := f.Let(ir.C(0))
+	a := f.Add(v, ir.C(0))
+	f.Mov(v, ir.C(0))
+	b := f.Add(v, ir.C(0))
+	f.Mov(v, ir.C(64))
+	c := f.Add(v, ir.C(0))
+	f.Out32(a)
+	f.Out32(b)
+	f.Out32(c)
+	f.RetVoid()
+	return mb.MustBuild()
+}
+
+// TestStuckAtReForcesAfterOverwrite is the defining stuck-at property: a
+// transient flip decays when the register is rewritten, a held bit does
+// not. Bit 5 stuck at 1 across the window forces every read of v, so all
+// three reads observe the fault and each value-changing clamp counts as
+// one activated error.
+func TestStuckAtReForcesAfterOverwrite(t *testing.T) {
+	res, err := Run(stuckTarget(), Options{Plan: &Plan{
+		FirstCand:  0,
+		MaxFlips:   1,
+		PinnedBit:  -1,
+		Rng:        fixedBitRng(5),
+		Stuck:      true,
+		StuckHigh:  true,
+		HoldWindow: 100,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stop != StopReturned {
+		t.Fatalf("stop = %v", res.Stop)
+	}
+	// v = 0 forces to 32 twice; v = 64 forces to 96 (bit 5 was clear).
+	if want := out32(32, 32, 96); !bytes.Equal(res.Output, want) {
+		t.Fatalf("output = %x, want %x", res.Output, want)
+	}
+	if res.Injected != 3 {
+		t.Fatalf("injected = %d, want 3 (one per value-changing read)", res.Injected)
+	}
+	if res.FirstBit != 5 {
+		t.Fatalf("first bit = %d, want 5", res.FirstBit)
+	}
+	if len(res.InjectionDyns) != 3 {
+		t.Fatalf("injection dyns = %v, want 3 entries", res.InjectionDyns)
+	}
+}
+
+// TestStuckAtWindowExpires checks the hold length: a one-instruction
+// window forces only the activation read, and the plan disarms afterwards
+// so later reads run clean.
+func TestStuckAtWindowExpires(t *testing.T) {
+	res, err := Run(stuckTarget(), Options{Plan: &Plan{
+		FirstCand:  0,
+		MaxFlips:   1,
+		PinnedBit:  -1,
+		Rng:        fixedBitRng(5),
+		Stuck:      true,
+		StuckHigh:  true,
+		HoldWindow: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := out32(32, 0, 64); !bytes.Equal(res.Output, want) {
+		t.Fatalf("output = %x, want %x", res.Output, want)
+	}
+	if res.Injected != 1 {
+		t.Fatalf("injected = %d, want 1", res.Injected)
+	}
+}
+
+// TestStuckAtNoActivation checks the zero-activation case unique to the
+// stuck-at model: a bit stuck at the value it already carries never
+// changes a read, so nothing activates and the run is the golden run.
+func TestStuckAtNoActivation(t *testing.T) {
+	res, err := Run(stuckTarget(), Options{Plan: &Plan{
+		FirstCand:  0,
+		MaxFlips:   1,
+		PinnedBit:  -1,
+		Rng:        fixedBitRng(5),
+		Stuck:      true,
+		StuckHigh:  false, // v is 0 at slots 0-1; 64 has bit 5 clear too
+		HoldWindow: 100,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := out32(0, 0, 64); !bytes.Equal(res.Output, want) {
+		t.Fatalf("output = %x, want golden %x", res.Output, want)
+	}
+	if res.Injected != 0 {
+		t.Fatalf("injected = %d, want 0", res.Injected)
+	}
+	// The fault was still placed: FirstBit records the held position.
+	if res.FirstBit != 5 {
+		t.Fatalf("first bit = %d, want 5", res.FirstBit)
+	}
+}
+
+// TestStuckAtPinnedBit checks PinnedBit selects the held position without
+// consuming randomness.
+func TestStuckAtPinnedBit(t *testing.T) {
+	res, err := Run(stuckTarget(), Options{Plan: &Plan{
+		FirstCand:  0,
+		MaxFlips:   1,
+		PinnedBit:  3,
+		Rng:        xrand.New(1),
+		Stuck:      true,
+		StuckHigh:  true,
+		HoldWindow: 100,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := out32(8, 8, 72); !bytes.Equal(res.Output, want) {
+		t.Fatalf("output = %x, want %x", res.Output, want)
+	}
+}
+
+// TestStuckAtEndsWithFrame checks that the hold dies with its frame: the
+// register file is per-frame, so once the activation frame returns, no
+// later read — whatever register index it uses — is forced.
+func TestStuckAtEndsWithFrame(t *testing.T) {
+	mb := ir.NewModule("stuck-frame")
+	leaf := mb.Func("leaf", 1)
+	x := leaf.Arg(0)
+	y := leaf.Add(x, ir.C(0)) // read slot 0: the activation site
+	leaf.Ret(y)
+	f := mb.Func("main", 0)
+	r := f.Call("leaf", ir.C(0))
+	s := f.Add(r, ir.C(0)) // read slot 1, after the activation frame popped
+	f.Out32(r)
+	f.Out32(s)
+	f.RetVoid()
+	p := mb.MustBuild()
+
+	res, err := Run(p, Options{Plan: &Plan{
+		FirstCand:  0,
+		MaxFlips:   1,
+		PinnedBit:  3,
+		Rng:        xrand.New(1),
+		Stuck:      true,
+		StuckHigh:  true,
+		HoldWindow: 1 << 20,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The callee's read of x is forced (0 -> 8) and returns 8; nothing in
+	// main is forced even though the window is still open.
+	if want := out32(8, 8); !bytes.Equal(res.Output, want) {
+		t.Fatalf("output = %x, want %x", res.Output, want)
+	}
+	if res.Injected != 1 {
+		t.Fatalf("injected = %d, want 1 (only the callee read)", res.Injected)
+	}
+}
+
+// TestStuckAtWidthRule checks the flip-within-slot-width rule: a read
+// too narrow to observe the held bit is neither corrupted nor counted.
+// The hold activates on a 64-bit read with the bit pinned at 40, the
+// register is then rewritten through a 32-bit pipeline (clearing bit
+// 40), and a final 32-bit read must not re-force the invisible bit.
+func TestStuckAtWidthRule(t *testing.T) {
+	mb := ir.NewModule("stuck-width")
+	f := mb.Func("main", 0)
+	v := f.Let(ir.C(0))
+	a := f.BinW(ir.W64, ir.OpAdd, v, ir.C(0)) // slot 0 (W64): activation
+	f.Mov(v, f.Add(v, ir.C(0)))               // 32-bit rewrite clears bit 40
+	c := f.Add(v, ir.C(0))                    // W32 read: cannot observe bit 40
+	f.Out64(a)
+	f.Out32(c)
+	f.RetVoid()
+	p := mb.MustBuild()
+
+	res, err := Run(p, Options{Plan: &Plan{
+		FirstCand:  0,
+		MaxFlips:   1,
+		PinnedBit:  40,
+		Rng:        xrand.New(1),
+		Stuck:      true,
+		StuckHigh:  true,
+		HoldWindow: 100,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected != 1 {
+		t.Fatalf("injected = %d, want 1 (the 32-bit reads cannot observe bit 40)", res.Injected)
+	}
+	var want [12]byte
+	binary.LittleEndian.PutUint64(want[:8], 1<<40)
+	binary.LittleEndian.PutUint32(want[8:], 0)
+	if !bytes.Equal(res.Output, want[:]) {
+		t.Fatalf("output = %x, want %x", res.Output, want)
+	}
+}
+
+// TestStuckAtValidation checks the plan-shape errors.
+func TestStuckAtValidation(t *testing.T) {
+	p := stuckTarget()
+	if _, err := Run(p, Options{Plan: &Plan{
+		Rng: xrand.New(1), PinnedBit: -1, Stuck: true, StuckHigh: true, OnWrite: true, HoldWindow: 10,
+	}}); err == nil {
+		t.Error("stuck-at plan with OnWrite accepted")
+	}
+	if _, err := Run(p, Options{Plan: &Plan{
+		Rng: xrand.New(1), PinnedBit: -1, Stuck: true,
+	}}); err == nil {
+		t.Error("stuck-at plan without HoldWindow accepted")
+	}
+}

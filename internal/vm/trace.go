@@ -137,15 +137,33 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-// absorb folds one word into a running hash (word-wise FNV-1a; the
-// callers apply mix64 once at the end).
-func absorb(h, v uint64) uint64 { return (h ^ v) * fnvPrime }
+// absorb folds one word into a running hash: word-wise FNV-1a with a
+// shift-xor diffusion round after the multiply (the callers apply mix64
+// once at the end). The diffusion step is load-bearing for correctness,
+// not just quality: under plain (h^v)*prime, a difference confined to a
+// word's top byte stays in the running hash's top byte forever —
+// d·2^56·prime mod 2^64 = (d·0xb3 mod 256)·2^56 — so several corrupted
+// words whose deltas sit in bits 56..63 can cancel mod 256, a ~1/256
+// state-fingerprint collision instead of 2^-64. (The VM fuzzer found
+// exactly that: an injected run with 1<<56 in four registers hashed
+// equal to the golden arena and false-converged.) Folding the high half
+// back down after each multiply breaks the closed subgroup: the next
+// multiply spreads the delta full-width.
+func absorb(h, v uint64) uint64 {
+	h = (h ^ v) * fnvPrime
+	return h ^ h>>32
+}
 
 // hashPage hashes one page's content under seed, implicitly zero-padding
 // to the page size so clamped views (segment tails, stack high-water
 // captures) hash identically to their fully materialized form. Four
 // independent multiply lanes break the serial dependency chain, so the
-// hash runs at memory speed rather than multiplier latency.
+// hash runs near memory speed rather than multiplier latency. Each lane
+// applies the same shift-xor diffusion round as absorb — see there for
+// why top-byte differences must not stay confined to the top byte. The
+// round costs ~20% on this function in isolation (an 8-lane variant
+// measured slower: the wider combine tail outweighs the ILP win on a
+// 256-byte page) and is noise-level on campaign throughput.
 func hashPage(seed uint64, b []byte) uint64 {
 	if len(b) != pageSize {
 		var buf [pageSize]byte
@@ -158,9 +176,13 @@ func hashPage(seed uint64, b []byte) uint64 {
 	h3 := seed ^ 0x0f0f0f0f0f0f0f0f
 	for i := 0; i < pageSize; i += 32 {
 		h0 = (h0 ^ binary.LittleEndian.Uint64(b[i:])) * fnvPrime
+		h0 ^= h0 >> 32
 		h1 = (h1 ^ binary.LittleEndian.Uint64(b[i+8:])) * fnvPrime
+		h1 ^= h1 >> 32
 		h2 = (h2 ^ binary.LittleEndian.Uint64(b[i+16:])) * fnvPrime
+		h2 ^= h2 >> 32
 		h3 = (h3 ^ binary.LittleEndian.Uint64(b[i+24:])) * fnvPrime
+		h3 ^= h3 >> 32
 	}
 	return mix64(h0 ^ mix64(h1) ^ mix64(h2)*3 ^ mix64(h3)*5)
 }

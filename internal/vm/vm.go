@@ -310,6 +310,14 @@ type machine struct {
 	firstDone   bool
 	nextDyn     uint64 // next dynamic index eligible for a follow-up injection
 	injDyns     []uint64
+	// Stuck-at hold state (Plan.Stuck): the held register and bit, the
+	// dynamic index the hold expires at, and the activation frame depth
+	// (the per-frame register file gives the register no identity beyond
+	// its frame).
+	holdReg   ir.Reg
+	holdBit   int
+	holdEnd   uint64
+	holdDepth int
 
 	// Convergence machinery (trace.go). trace/rec are mutually exclusive:
 	// a run either consumes a golden trace (injected runs) or records one
@@ -792,6 +800,19 @@ func (m *machine) sprint(fr *frame, limit uint64) *frame {
 				regs[in.Dst] = val(regs, in.A) * val(regs, in.B)
 				writes++
 				regs[in2.Dst] = val(regs, in2.A) + val(regs, in2.B)
+				writes++
+				fr.pc += 2
+			case ir.FuseShlAnd:
+				// shl then and — FFT's shift-and-mask idiom. Both halves run
+				// their generic width-masked bodies in order; the shift is
+				// written first, so a dependent and reads it like any
+				// operand.
+				w := in.W
+				mask := w.Mask()
+				sh := val(regs, in.B) & uint64(w.Bits()-1)
+				regs[in.Dst] = ((val(regs, in.A) & mask) << sh) & mask
+				writes++
+				regs[in2.Dst] = val(regs, in2.A) & val(regs, in2.B) & in2.W.Mask()
 				writes++
 				fr.pc += 2
 			default:
