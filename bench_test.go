@@ -7,6 +7,7 @@ package multiflip_test
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"testing"
 
 	"multiflip/internal/core"
@@ -328,6 +329,58 @@ func benchCampaignSnapshot(b *testing.B, noSnapshots, noConverge bool) {
 		}
 	}
 	b.ReportMetric(float64(perIter)*float64(b.N)/b.Elapsed().Seconds(), "experiments/s")
+}
+
+// BenchmarkCampaignJournal measures the campaign service's durability
+// overhead on the BenchmarkCampaignSnapshot workload: the same campaign
+// run through a journal instead of the in-memory fast path. "mem" prices
+// the sharded claim/checkpoint protocol alone (in-memory journal);
+// "file" adds the checksummed append-only file journal and the shared
+// memo file. The resume differential tests guarantee all three paths are
+// bit-identical; the deltas here are pure wall-clock.
+func BenchmarkCampaignJournal(b *testing.B) {
+	bench, err := prog.ByName("qsort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := bench.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := core.NewTarget(bench.Name, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const perIter = 200
+	service := map[string]func(i int) *core.Service{
+		"mem": func(int) *core.Service {
+			return &core.Service{Journal: core.NewMemJournal()}
+		},
+		// Each iteration journals into its own subdirectory: the memo
+		// fingerprint is seed-independent by design, so a shared directory
+		// would let later iterations ride earlier iterations' memo files
+		// and understate the file-backed cost.
+		"file": func(i int) *core.Service {
+			return &core.Service{Dir: filepath.Join(b.TempDir(), fmt.Sprint(i))}
+		},
+	}
+	for _, name := range []string{"mem", "file"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunCampaign(core.CampaignSpec{
+					Target:    target,
+					Technique: core.InjectOnRead,
+					Config:    core.SingleBit(),
+					N:         perIter,
+					Seed:      uint64(i),
+					Service:   service[name](i),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(perIter)*float64(b.N)/b.Elapsed().Seconds(), "experiments/s")
+		})
+	}
 }
 
 // BenchmarkCampaignThroughput measures end-to-end experiments per second

@@ -5,6 +5,9 @@
 //
 //	fi -prog CRC32 -tech read -mbf 3 -win 10 -n 10000 -seed 1
 //	fi -prog CRC32 -model stuckat -win 100 -n 10000 -seed 1
+//	fi -prog CRC32 -n 10000 -journal ./j          # durable, checkpointed
+//	fi -prog CRC32 -n 10000 -journal ./j -resume  # continue after a crash
+//	fi -journal ./j -status                       # inspect a journal dir
 //
 // The default model ("flip") is the paper's transient bit-flip model: the
 // win flag is the (max-MBF, win-size) cluster's window in Table I
@@ -13,6 +16,13 @@
 // register bit is instead held at 0/1 across every read in a dynamic
 // window of -win instructions (the persistent-fault extension); -tech and
 // -mbf are ignored.
+//
+// With -journal DIR the campaign runs as a durable job: it executes in
+// shards checkpointed to a content-addressed journal under DIR, a killed
+// run continues from its last checkpoint when re-run with -resume, and
+// several fi processes given the same flags and -resume drain one
+// campaign concurrently. -status lists every campaign in DIR with its
+// shard progress and running tally.
 package main
 
 import (
@@ -27,50 +37,79 @@ import (
 	"multiflip/internal/stats"
 )
 
+// options carries the parsed command line.
+type options struct {
+	prog    string
+	model   string
+	tech    string
+	mbf     int
+	winSpec string
+	n       int
+	seed    uint64
+	hang    uint64
+	workers int
+	nosnap  bool
+	noconv  bool
+	journal string
+	resume  bool
+	status  bool
+}
+
 func main() {
-	var (
-		progName = flag.String("prog", "CRC32", "benchmark program (see cmd/proginfo for the list)")
-		model    = flag.String("model", "flip", `fault model: "flip" (transient bit flips) or "stuckat" (bit held across a read window)`)
-		tech     = flag.String("tech", "read", `technique: "read" (inject-on-read) or "write" (inject-on-write); flip model only`)
-		mbf      = flag.Int("mbf", 1, "max-MBF: maximum bit-flip errors per run (1 = single-bit model); flip model only")
-		win      = flag.String("win", "", `window: injection spacing for flip ("0", "100", "2-10", ...; default 0), hold length for stuckat (default 100)`)
-		n        = flag.Int("n", 1000, "experiments in the campaign (the paper uses 10000)")
-		seed     = flag.Uint64("seed", 1, "campaign seed (campaigns are exactly reproducible)")
-		hang     = flag.Uint64("hang", core.DefaultHangFactor, "hang budget as a multiple of the fault-free dynamic instruction count")
-		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		nosnap   = flag.Bool("nosnap", false, "disable golden-run snapshot fast-forwarding (full prefix replay)")
-		noconv   = flag.Bool("noconverge", false, "disable convergence-gated early termination and the fault-equivalence memo")
-	)
+	var o options
+	flag.StringVar(&o.prog, "prog", "CRC32", "benchmark program (see cmd/proginfo for the list)")
+	flag.StringVar(&o.model, "model", "flip", `fault model: "flip" (transient bit flips) or "stuckat" (bit held across a read window)`)
+	flag.StringVar(&o.tech, "tech", "read", `technique: "read" (inject-on-read) or "write" (inject-on-write); flip model only`)
+	flag.IntVar(&o.mbf, "mbf", 1, "max-MBF: maximum bit-flip errors per run (1 = single-bit model); flip model only")
+	flag.StringVar(&o.winSpec, "win", "", `window: injection spacing for flip ("0", "100", "2-10", ...; default 0), hold length for stuckat (default 100)`)
+	flag.IntVar(&o.n, "n", 1000, "experiments in the campaign (the paper uses 10000)")
+	flag.Uint64Var(&o.seed, "seed", 1, "campaign seed (campaigns are exactly reproducible)")
+	flag.Uint64Var(&o.hang, "hang", core.DefaultHangFactor, "hang budget as a multiple of the fault-free dynamic instruction count")
+	flag.IntVar(&o.workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.nosnap, "nosnap", false, "disable golden-run snapshot fast-forwarding (full prefix replay)")
+	flag.BoolVar(&o.noconv, "noconverge", false, "disable convergence-gated early termination and the fault-equivalence memo")
+	flag.StringVar(&o.journal, "journal", "", "journal directory: run the campaign as a durable sharded job (checkpointed, resumable, multi-process)")
+	flag.BoolVar(&o.resume, "resume", false, "resume the journaled campaign from its last checkpoint (requires -journal)")
+	flag.BoolVar(&o.status, "status", false, "list the campaigns in the -journal directory instead of running one")
 	flag.Parse()
-	if err := run(*progName, *model, *tech, *mbf, *win, *n, *seed, *hang, *workers, *nosnap, *noconv); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "fi:", err)
 		os.Exit(1)
 	}
 }
 
-func run(progName, model, techName string, mbf int, winSpec string, n int, seed, hang uint64, workers int, nosnap, noconv bool) error {
+func run(o options) error {
+	if o.resume && o.journal == "" {
+		return fmt.Errorf("-resume needs -journal DIR (there is no journal to resume from)")
+	}
+	if o.status {
+		if o.journal == "" {
+			return fmt.Errorf("-status needs -journal DIR")
+		}
+		return runStatus(o.journal)
+	}
 	// Reject a bad model name or window before target preparation:
 	// profiling runs the whole golden run plus snapshot and trace
 	// capture, which is seconds of waste on a typo.
-	if model != "flip" && model != "stuckat" {
-		return fmt.Errorf("unknown model %q (want flip or stuckat)", model)
+	if o.model != "flip" && o.model != "stuckat" {
+		return fmt.Errorf("unknown model %q (want flip or stuckat)", o.model)
 	}
 	win := core.Win(0)
-	if model == "stuckat" {
+	if o.model == "stuckat" {
 		win = core.Win(core.DefaultStuckWindow)
 	}
-	if winSpec != "" {
+	if o.winSpec != "" {
 		var err error
-		if model == "stuckat" {
-			win, err = core.ParseStuckWindow(winSpec)
+		if o.model == "stuckat" {
+			win, err = core.ParseStuckWindow(o.winSpec)
 		} else {
-			win, err = core.ParseWinSize(winSpec)
+			win, err = core.ParseWinSize(o.winSpec)
 		}
 		if err != nil {
 			return err
 		}
 	}
-	b, err := prog.ByName(progName)
+	b, err := prog.ByName(o.prog)
 	if err != nil {
 		return err
 	}
@@ -78,63 +117,107 @@ func run(progName, model, techName string, mbf int, winSpec string, n int, seed,
 	if err != nil {
 		return err
 	}
-	target, err := core.NewTargetOpts(progName, p, core.TargetOptions{NoConverge: noconv})
+	target, err := core.NewTargetOpts(o.prog, p, core.TargetOptions{NoConverge: o.noconv})
 	if err != nil {
 		return err
 	}
-	if model == "stuckat" {
-		return runStuckAt(target, win, n, seed, hang, workers, nosnap, noconv)
+	if o.model == "stuckat" {
+		return runStuckAt(target, win, o)
 	}
-	return runFlip(target, techName, mbf, win, n, seed, hang, workers, nosnap, noconv)
+	return runFlip(target, win, o)
 }
 
-func runFlip(target *core.Target, techName string, mbf int, win core.WinSize, n int, seed, hang uint64, workers int, nosnap, noconv bool) error {
+// service returns the campaign Service for the flags, or nil without
+// -journal (the campaign then runs on the engine's in-memory fast path).
+func (o *options) service() *core.Service {
+	if o.journal == "" {
+		return nil
+	}
+	return &core.Service{Dir: o.journal, Resume: o.resume}
+}
+
+func runFlip(target *core.Target, win core.WinSize, o options) error {
 	var tech core.Technique
-	switch techName {
+	switch o.tech {
 	case "read":
 		tech = core.InjectOnRead
 	case "write":
 		tech = core.InjectOnWrite
 	default:
-		return fmt.Errorf("unknown technique %q (want read or write)", techName)
+		return fmt.Errorf("unknown technique %q (want read or write)", o.tech)
 	}
-	cfg := core.Config{MaxMBF: mbf, Win: win}
+	cfg := core.Config{MaxMBF: o.mbf, Win: win}
 	res, err := core.RunCampaign(core.CampaignSpec{
 		Target:      target,
 		Technique:   tech,
 		Config:      cfg,
-		N:           n,
-		Seed:        seed,
-		HangFactor:  hang,
-		Workers:     workers,
-		NoSnapshots: nosnap,
-		NoConverge:  noconv,
+		N:           o.n,
+		Seed:        o.seed,
+		HangFactor:  o.hang,
+		Workers:     o.workers,
+		NoSnapshots: o.nosnap,
+		NoConverge:  o.noconv,
+		Service:     o.service(),
 	})
 	if err != nil {
 		return err
 	}
 	title := fmt.Sprintf("Campaign: %s, %s, %s, n=%d, seed=%d (golden: %d dyn instr, %d/%d candidates)",
-		target.Name, tech, cfg, res.N(), seed, target.GoldenDyn, target.ReadCands, target.WriteCands)
+		target.Name, tech, cfg, res.N(), o.seed, target.GoldenDyn, target.ReadCands, target.WriteCands)
 	return renderCampaign(title, &res.EngineResult)
 }
 
-func runStuckAt(target *core.Target, win core.WinSize, n int, seed, hang uint64, workers int, nosnap, noconv bool) error {
+func runStuckAt(target *core.Target, win core.WinSize, o options) error {
 	res, err := core.RunStuckAt(core.StuckAtSpec{
 		Target:      target,
 		Window:      win,
-		N:           n,
-		Seed:        seed,
-		HangFactor:  hang,
-		Workers:     workers,
-		NoSnapshots: nosnap,
-		NoConverge:  noconv,
+		N:           o.n,
+		Seed:        o.seed,
+		HangFactor:  o.hang,
+		Workers:     o.workers,
+		NoSnapshots: o.nosnap,
+		NoConverge:  o.noconv,
+		Service:     o.service(),
 	})
 	if err != nil {
 		return err
 	}
 	title := fmt.Sprintf("Campaign: %s, stuck-at (bit held for a %s-instruction read window), n=%d, seed=%d (golden: %d dyn instr, %d read candidates)",
-		target.Name, win, res.N(), seed, target.GoldenDyn, target.ReadCands)
+		target.Name, win, res.N(), o.seed, target.GoldenDyn, target.ReadCands)
 	return renderCampaign(title, &res.EngineResult)
+}
+
+// runStatus lists every campaign journal in the directory with its shard
+// progress and the running tally over checkpointed shards.
+func runStatus(dir string) error {
+	infos, err := core.InspectDir(dir)
+	if err != nil {
+		return err
+	}
+	if len(infos) == 0 {
+		fmt.Printf("no campaign journals in %s\n", dir)
+		return nil
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("Campaign journals in %s", dir),
+		Columns: []string{"campaign", "n", "seed", "shards done/leased/pending", "experiments", "SDC so far"},
+	}
+	for _, in := range infos {
+		st := in.Status
+		sdc := "-"
+		if st.Tally.N() > 0 {
+			sdc = stats.FormatPct(st.Tally.SDCPct()) + "%"
+		}
+		t.AddRow(in.Meta.Model,
+			strconv.Itoa(in.Meta.N),
+			strconv.FormatUint(in.Meta.Seed, 10),
+			fmt.Sprintf("%d/%d/%d of %d", st.Done, st.Leased, st.Pending, st.Shards),
+			fmt.Sprintf("%d/%d", st.ExperimentsDone, st.ExperimentsTotal),
+			sdc)
+	}
+	t.Notes = append(t.Notes,
+		"The tally covers checkpointed shards only; shard merging is exact, so percentages are true partial results.")
+	return t.Render(os.Stdout)
 }
 
 // renderCampaign prints the shared outcome table every model's campaign

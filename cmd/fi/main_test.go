@@ -2,17 +2,29 @@ package main
 
 import "testing"
 
+// base returns a valid option set for tests to break one field at a time.
+func base() options {
+	return options{prog: "CRC32", model: "flip", tech: "read", mbf: 1,
+		winSpec: "0", n: 10, seed: 1, hang: 10, workers: 1}
+}
+
 func TestRunRejectsUnknowns(t *testing.T) {
-	if err := run("no-such-prog", "flip", "read", 1, "0", 10, 1, 10, 1, false, false); err == nil {
-		t.Error("unknown program accepted")
+	cases := []struct {
+		name string
+		mut  func(*options)
+	}{
+		{"unknown program", func(o *options) { o.prog = "no-such-prog" }},
+		{"unknown technique", func(o *options) { o.tech = "sideways" }},
+		{"unknown model", func(o *options) { o.model = "no-such-model" }},
+		{"stuck-at zero window", func(o *options) { o.model = "stuckat" }},
+		{"resume without journal", func(o *options) { o.resume = true }},
+		{"status without journal", func(o *options) { o.status = true }},
 	}
-	if err := run("CRC32", "flip", "sideways", 1, "0", 10, 1, 10, 1, false, false); err == nil {
-		t.Error("unknown technique accepted")
-	}
-	if err := run("CRC32", "no-such-model", "read", 1, "0", 10, 1, 10, 1, false, false); err == nil {
-		t.Error("unknown model accepted")
-	}
-	if err := run("CRC32", "stuckat", "read", 1, "0", 10, 1, 10, 1, false, false); err == nil {
-		t.Error("stuck-at campaign with a zero window accepted")
+	for _, c := range cases {
+		o := base()
+		c.mut(&o)
+		if err := run(o); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
 	}
 }

@@ -40,6 +40,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "parallel workers per campaign (0 = GOMAXPROCS)")
 		nosnap      = flag.Bool("nosnap", false, "disable golden-run snapshot fast-forwarding (full prefix replay)")
 		noconverge  = flag.Bool("noconverge", false, "disable convergence-gated early termination and the fault-equivalence memo")
+		journal     = flag.String("journal", "", "journal directory: run campaigns as durable sharded jobs (checkpointed, resumable, multi-process)")
+		resume      = flag.Bool("resume", false, "resume journaled campaigns from their last checkpoints (requires -journal)")
 		out         = flag.String("o", "", "output file (empty = stdout)")
 		csvDir      = flag.String("csv", "", "also write each table as CSV into this directory")
 		composition = flag.Bool("composition", false, "only run single-bit campaigns and print the candidate-composition tables")
@@ -51,6 +53,7 @@ func main() {
 		transitions: *transitions, ablations: *ablations, memfaults: *memfaults,
 		composition: *composition, stuckat: *stuckat, stuckwin: *stuckwin,
 		workers: *workers, nosnap: *nosnap, noconverge: *noconverge,
+		journal: *journal, resume: *resume,
 		out: *out, csvDir: *csvDir, verbose: *verbose,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "study:", err)
@@ -73,6 +76,8 @@ type params struct {
 	workers     int
 	nosnap      bool
 	noconverge  bool
+	journal     string
+	resume      bool
 	out         string
 	csvDir      string
 	verbose     bool
@@ -101,6 +106,9 @@ func run(p params) error {
 }
 
 func runTo(w io.Writer, p params) error {
+	if p.resume && p.journal == "" {
+		return fmt.Errorf("-resume needs -journal DIR (there is no journal to resume from)")
+	}
 	n, seed := p.n, p.seed
 	opts := study.Options{
 		N:           n,
@@ -109,6 +117,8 @@ func runTo(w io.Writer, p params) error {
 		NoSnapshots: p.nosnap,
 		NoConverge:  p.noconverge,
 		NoStuckAt:   !p.stuckat,
+		JournalDir:  p.journal,
+		Resume:      p.resume,
 	}
 	if p.stuckwin != "" {
 		win, err := core.ParseStuckWindow(p.stuckwin)

@@ -99,6 +99,10 @@ type CampaignSpec struct {
 	// Pins, when non-empty, forces experiment i's first injection to
 	// Pins[i] and sets N = len(Pins).
 	Pins []Pin
+	// Service, when set (and naming a journal or directory), runs the
+	// campaign as a durable job: sharded, checkpointed, resumable, and
+	// drainable by several processes at once.
+	Service *Service
 }
 
 // validate checks the engine-level fields; the model-level checks
@@ -139,6 +143,24 @@ type RegisterModel struct {
 
 // Prefix implements FaultModel.
 func (m *RegisterModel) Prefix() string { return "core" }
+
+// Describe implements FaultModel: the register model's full
+// parameterization for the campaign fingerprint. Pinned campaigns fold a
+// digest of the pin list — two campaigns with different pins plan
+// different experiments.
+func (m *RegisterModel) Describe() string {
+	s := m.Spec
+	d := fmt.Sprintf("register tech=%s mbf=%d win=%s", s.Technique, s.Config.MaxMBF, s.Config.Win)
+	if len(s.Pins) > 0 {
+		h := uint64(0)
+		for _, p := range s.Pins {
+			h = mix(h, p.Cand)
+			h = mix(h, uint64(int64(p.Bit)))
+		}
+		d += fmt.Sprintf(" pins=%d:%016x", len(s.Pins), h)
+	}
+	return d
+}
 
 // Validate implements FaultModel.
 func (m *RegisterModel) Validate(t *Target, n int) error {
@@ -229,6 +251,7 @@ func RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
 		NoFusion:    spec.NoFusion,
 		NoConverge:  spec.NoConverge,
 		NoAlignTrap: spec.NoAlignTrap,
+		Service:     spec.Service,
 	}).Run()
 	if err != nil {
 		return nil, err

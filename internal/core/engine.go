@@ -18,18 +18,52 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"multiflip/internal/vm"
 	"multiflip/internal/xrand"
 )
 
-// DefaultClaimBatch is the number of experiment indices a worker claims
-// per atomic operation. At tens of thousands of experiments per second a
-// single shared counter bumped once per experiment is measurable
-// contention; claiming chunks amortizes it. Batches only affect
-// scheduling — experiment i always draws its random stream from (Seed,
-// i) — so results are bit-identical for any batch size.
+// DefaultClaimBatch caps the number of experiment indices a worker
+// claims per atomic operation. At tens of thousands of experiments per
+// second a single shared counter bumped once per experiment is
+// measurable contention; claiming chunks amortizes it. Batches only
+// affect scheduling — experiment i always draws its random stream from
+// (Seed, i) — so results are bit-identical for any batch size. The
+// default batch auto-tunes to N and the worker count (autoClaimBatch);
+// an explicit ClaimBatch is honoured verbatim.
 const DefaultClaimBatch = 16
+
+// maxClaimBatch bounds the auto-tuned claim batch: past a few hundred
+// indices per claim the counter is already cold and bigger batches only
+// worsen tail imbalance.
+const maxClaimBatch = 256
+
+// claimSpread is the number of claim rounds the auto-tuned batch aims to
+// give each worker: enough re-claims to rebalance around slow
+// experiments, few enough to keep the counter cold.
+const claimSpread = 4
+
+// autoClaimBatch scales the claim batch to the run: N/(workers·
+// claimSpread), clamped to [1, maxClaimBatch]. Small runs degrade to
+// batch 1 so every worker still gets a share of the claim space; huge
+// runs stop at maxClaimBatch. Results are identical for any batch — the
+// invariance test covers the auto path against explicit batches.
+func autoClaimBatch(n, workers int) int {
+	b := n / (workers * claimSpread)
+	if b < 1 {
+		return 1
+	}
+	if b > maxClaimBatch {
+		return maxClaimBatch
+	}
+	return b
+}
+
+// ErrInterrupted reports a campaign stopped by Engine.Interrupt before
+// every experiment ran. A journaled campaign keeps its completed shard
+// checkpoints; re-running with Service.Resume folds them and continues.
+var ErrInterrupted = errors.New("core: campaign interrupted")
 
 // FaultModel plugs one fault class into the Engine. Implementations
 // describe a single experiment's injection; the engine owns workers,
@@ -39,6 +73,12 @@ const DefaultClaimBatch = 16
 type FaultModel interface {
 	// Prefix labels engine errors ("core", "memfault", "stuckat").
 	Prefix() string
+	// Describe renders the model's full parameterization as a stable
+	// string: it feeds the campaign fingerprint (journal content
+	// addressing) and is stored in the journal meta record, so two model
+	// values must agree on it exactly when they plan identical
+	// experiments.
+	Describe() string
 	// Validate checks the model's parameters against the prepared target
 	// and the engine's experiment count before any experiment runs.
 	Validate(t *Target, n int) error
@@ -106,7 +146,25 @@ type Engine struct {
 	// NoAlignTrap disables the misaligned-access exception (alignment
 	// ablation).
 	NoAlignTrap bool
+	// Service, when set (and naming a journal or directory), turns the
+	// run into a durable campaign: experiments execute in journal shards
+	// with per-shard checkpoints, interrupted runs resume from the last
+	// checkpoint, and concurrent processes drain the same campaign via
+	// lease stealing.
+	Service *Service
+
+	// interrupted is set by Interrupt: workers stop claiming work and the
+	// run returns ErrInterrupted. Journaled campaigns keep their
+	// checkpoints.
+	interrupted atomic.Bool
 }
+
+// Interrupt asks a running campaign to stop at the next experiment
+// boundary. The in-process analogue of SIGKILL for a journaled campaign:
+// completed shards stay checkpointed, the in-flight shard is abandoned
+// un-checkpointed, and Run returns ErrInterrupted. Safe to call from any
+// goroutine, including an experimentHook.
+func (e *Engine) Interrupt() { e.interrupted.Store(true) }
 
 // EngineResult aggregates an engine run. Campaign result types embed it,
 // so the outcome statistics (via Tally), histograms and early-exit
@@ -160,42 +218,37 @@ type expStats struct {
 	memoHit   bool
 }
 
+// memoTable abstracts the fault-equivalence memo store so the engine
+// runs against either a per-run private map (mapMemo) or the
+// cross-campaign SharedMemo.
+type memoTable interface {
+	load(k vm.StateKey) (memoVal, bool)
+	store(k vm.StateKey, v memoVal)
+}
+
+// mapMemo is the per-run memo: a plain sync.Map scoped to one campaign.
+type mapMemo struct{ m sync.Map }
+
+func (mm *mapMemo) load(k vm.StateKey) (memoVal, bool) {
+	v, ok := mm.m.Load(k)
+	if !ok {
+		return memoVal{}, false
+	}
+	return v.(memoVal), true
+}
+
+func (mm *mapMemo) store(k vm.StateKey, v memoVal) { mm.m.Store(k, v) }
+
 // engineShard is one worker's private aggregate. Workers never touch a
 // shared tally or histogram mid-run; shards merge once after the pool
 // drains, so the hot loop performs no cross-core writes beyond the
-// batched claim counter.
+// batched claim counter. The aggregate itself is a ShardResult — the
+// same associative unit journaled campaigns checkpoint per shard.
 type engineShard struct {
-	tally     Tally
-	crash     [ActivatedCap + 1]int
-	traps     [NumTrapKinds]int
-	activated int
-	converged int
-	memoHits  int
+	ShardResult
 	// Pad past a cache line so adjacent shards in the slice never share
 	// one (the struct tail and the next shard's head are both hot).
 	_ [64]byte
-}
-
-// add folds one experiment into the shard.
-func (sh *engineShard) add(exp *Experiment, st expStats) {
-	sh.tally.Add(exp.Outcome)
-	sh.activated += exp.Activated
-	if exp.Outcome == OutcomeException {
-		a := exp.Activated
-		if a > ActivatedCap {
-			a = ActivatedCap
-		}
-		sh.crash[a]++
-		if int(exp.Trap) < NumTrapKinds {
-			sh.traps[exp.Trap]++
-		}
-	}
-	if st.converged {
-		sh.converged++
-	}
-	if st.memoHit {
-		sh.memoHits++
-	}
 }
 
 // experimentHook, when non-nil, is called with each claimed experiment
@@ -205,7 +258,9 @@ var experimentHook func(idx int)
 
 // Run executes the experiments. They run in parallel but the result is
 // identical for any worker count and claim batch: every experiment
-// derives its private random stream from (Seed, experiment index).
+// derives its private random stream from (Seed, experiment index). With
+// an active Service the run executes as a journaled campaign
+// (runJournaled); otherwise it stays on the in-memory fast path.
 func (e *Engine) Run() (*EngineResult, error) {
 	if e.Target == nil {
 		return nil, fmt.Errorf("core: engine needs a target")
@@ -219,6 +274,10 @@ func (e *Engine) Run() (*EngineResult, error) {
 	if err := e.Model.Validate(e.Target, e.N); err != nil {
 		return nil, err
 	}
+	e.interrupted.Store(false)
+	if e.Service.active() {
+		return e.runJournaled()
+	}
 	n := e.N
 	workers := e.Workers
 	if workers <= 0 {
@@ -229,16 +288,9 @@ func (e *Engine) Run() (*EngineResult, error) {
 	}
 	batch := e.ClaimBatch
 	if batch <= 0 {
-		// Shrink the default for small runs so every worker still gets a
-		// share of the claim space; an explicit ClaimBatch is honoured
+		// Auto-tune to the run; an explicit ClaimBatch is honoured
 		// verbatim (the ablation benchmark depends on that).
-		batch = DefaultClaimBatch
-		if m := n / workers; batch > m {
-			batch = m
-		}
-		if batch < 1 {
-			batch = 1
-		}
+		batch = autoClaimBatch(n, workers)
 	}
 
 	// Convergence-gated early termination plus the fault-equivalence
@@ -250,6 +302,10 @@ func (e *Engine) Run() (*EngineResult, error) {
 	trace := e.Target.Trace
 	if e.NoConverge {
 		trace = nil
+	}
+	var memo memoTable = &mapMemo{}
+	if e.Service != nil && e.Service.Memo != nil {
+		memo = e.Service.Memo
 	}
 
 	var exps []Experiment
@@ -263,7 +319,6 @@ func (e *Engine) Run() (*EngineResult, error) {
 		wg     sync.WaitGroup
 		errMu  sync.Mutex
 		errs   []error
-		memo   sync.Map
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -285,13 +340,13 @@ func (e *Engine) Run() (*EngineResult, error) {
 					// worker errors, the whole run's result is discarded, so
 					// its peers must stop instead of finishing the grid for
 					// nothing.
-					if failed.Load() {
+					if failed.Load() || e.interrupted.Load() {
 						return
 					}
 					if h := experimentHook; h != nil {
 						h(i)
 					}
-					exp, st, err := e.runOne(uint64(i), &memo, trace)
+					exp, st, err := e.runOne(uint64(i), memo, trace)
 					if err != nil {
 						// Every worker's failure is collected: a grid-wide
 						// abort with several concurrent causes surfaces all
@@ -303,7 +358,7 @@ func (e *Engine) Run() (*EngineResult, error) {
 						failed.Store(true)
 						return
 					}
-					sh.add(&exp, st)
+					sh.Add(&exp, st.converged, st.memoHit)
 					if exps != nil {
 						exps[i] = exp
 					}
@@ -315,28 +370,191 @@ func (e *Engine) Run() (*EngineResult, error) {
 	if len(errs) > 0 {
 		return nil, errors.Join(errs...)
 	}
+	if e.interrupted.Load() {
+		return nil, ErrInterrupted
+	}
 
 	res := &EngineResult{Experiments: exps}
 	for i := range shards {
-		sh := &shards[i]
-		for o, c := range sh.tally.Counts {
-			res.Counts[o] += c
+		res.Fold(&shards[i].ShardResult, 0)
+	}
+	return res, nil
+}
+
+// runJournaled executes the campaign through its Service: experiments
+// run in journal shards, each checkpointed on completion, with already
+// checkpointed shards folded from the journal instead of re-run. Worker
+// goroutines claim shards through the journal's lease protocol, so any
+// number of cooperating processes can drain one campaign: leases
+// minimize duplicate work, determinism makes the duplicates that do
+// happen (after a lease steal) harmless, and idempotent checkpointing
+// keeps every shard counted exactly once.
+func (e *Engine) runJournaled() (*EngineResult, error) {
+	svc := e.Service
+	n := e.N
+	shardSize := svc.ShardSize
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	ttl := svc.LeaseTTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	workerID := svc.WorkerID
+	if workerID == "" {
+		workerID = defaultWorkerID()
+	}
+
+	j, ownJournal, err := svc.journalFor(e)
+	if err != nil {
+		return nil, err
+	}
+	if ownJournal {
+		defer j.Close()
+	}
+
+	trace := e.Target.Trace
+	if e.NoConverge {
+		trace = nil
+	}
+	var memo memoTable = &mapMemo{}
+	var ownMemo *SharedMemo
+	if trace != nil {
+		shared, owned, err := svc.memoFor(e)
+		if err != nil {
+			return nil, err
 		}
-		for a, c := range sh.crash {
-			res.CrashActivated[a] += c
+		if shared != nil {
+			memo = shared
+			if owned {
+				ownMemo = shared
+			}
 		}
-		for k, c := range sh.traps {
-			res.TrapCounts[k] += c
+	}
+
+	meta := CampaignMeta{
+		Fingerprint: e.fingerprint(),
+		Model:       e.Model.Describe(),
+		N:           n,
+		ShardSize:   shardSize,
+		Seed:        e.Seed,
+		Record:      e.Record,
+	}
+	if err := j.Bind(meta); err != nil {
+		return nil, err
+	}
+	numShards := meta.NumShards()
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numShards {
+		workers = numShards
+	}
+
+	var (
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		errs   []error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		errs = append(errs, err)
+		errMu.Unlock()
+		failed.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() || e.interrupted.Load() {
+					return
+				}
+				shard, state, err := j.Claim(workerID, ttl)
+				if err != nil {
+					fail(err)
+					return
+				}
+				switch state {
+				case ClaimDrained:
+					return
+				case ClaimWait:
+					// Peers hold every remaining shard; wait for a
+					// completion or an expired lease to steal.
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				lo, hi := meta.Span(shard)
+				sr := ShardResult{Shard: shard}
+				if e.Record {
+					sr.Experiments = make([]Experiment, 0, hi-lo)
+				}
+				for i := lo; i < hi; i++ {
+					// An interrupt (or a peer's failure) abandons the shard
+					// without a checkpoint: a partial shard is never
+					// journaled, so resume re-runs it from its start.
+					if failed.Load() || e.interrupted.Load() {
+						return
+					}
+					if h := experimentHook; h != nil {
+						h(i)
+					}
+					exp, st, err := e.runOne(uint64(i), memo, trace)
+					if err != nil {
+						fail(err)
+						return
+					}
+					sr.Add(&exp, st.converged, st.memoHit)
+					if e.Record {
+						sr.Experiments = append(sr.Experiments, exp)
+					}
+				}
+				if err := j.Checkpoint(sr); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ownMemo != nil {
+		if err := ownMemo.Close(); err != nil && len(errs) == 0 {
+			errs = append(errs, err)
 		}
-		res.ActivatedTotal += sh.activated
-		res.Converged += sh.converged
-		res.MemoHits += sh.memoHits
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	if e.interrupted.Load() {
+		return nil, ErrInterrupted
+	}
+
+	// Every worker saw ClaimDrained, so each shard has its accepted
+	// checkpoint — ours or a peer's. Fold them: shard merging is
+	// associative and order-independent, so the result is identical to an
+	// uninterrupted single-process run.
+	results, err := j.Results()
+	if err != nil {
+		return nil, err
+	}
+	if len(results) != numShards {
+		return nil, fmt.Errorf("%s: journal drained with %d/%d shards checkpointed", e.Model.Prefix(), len(results), numShards)
+	}
+	res := &EngineResult{}
+	if e.Record {
+		res.Experiments = make([]Experiment, n)
+	}
+	for _, sr := range results {
+		res.Fold(sr, sr.Shard*shardSize)
 	}
 	return res, nil
 }
 
 // runOne performs experiment idx.
-func (e *Engine) runOne(idx uint64, memo *sync.Map, trace *vm.GoldenTrace) (Experiment, expStats, error) {
+func (e *Engine) runOne(idx uint64, memo memoTable, trace *vm.GoldenTrace) (Experiment, expStats, error) {
 	t := e.Target
 	rng := xrand.ForExperiment(e.Seed, idx)
 	inj := e.Model.Plan(t, idx, rng)
@@ -352,8 +570,8 @@ func (e *Engine) runOne(idx uint64, memo *sync.Map, trace *vm.GoldenTrace) (Expe
 	var memoCheck func(vm.StateKey) bool
 	if trace != nil {
 		memoCheck = func(k vm.StateKey) bool {
-			if v, ok := memo.Load(k); ok {
-				hit = v.(memoVal)
+			if v, ok := memo.load(k); ok {
+				hit = v
 				hitOK = true
 				return true
 			}
@@ -389,7 +607,7 @@ func (e *Engine) runOne(idx uint64, memo *sync.Map, trace *vm.GoldenTrace) (Expe
 		exp.Outcome = t.Classify(res)
 		st.converged = res.Converged
 		if res.PostKeyed {
-			memo.Store(res.PostKey, memoVal{outcome: exp.Outcome, trap: exp.Trap})
+			memo.store(res.PostKey, memoVal{outcome: exp.Outcome, trap: exp.Trap})
 		}
 	}
 	e.Model.Record(&exp, res)

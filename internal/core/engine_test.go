@@ -157,7 +157,8 @@ func TestEngineMemoDeterminism(t *testing.T) {
 
 // TestEngineClaimBatchInvariance checks that the claim batch size is
 // invisible in the results: batch=1 (the pre-engine claim-per-experiment
-// behaviour) and an oversized batch produce bit-identical experiments.
+// behaviour), an oversized batch, and the auto-tuned default (batch=0)
+// produce bit-identical experiments.
 func TestEngineClaimBatchInvariance(t *testing.T) {
 	tg := target(t, "histo")
 	for _, m := range engineModels() {
@@ -175,16 +176,53 @@ func TestEngineClaimBatchInvariance(t *testing.T) {
 				}
 				return res
 			}
-			one, big := run(1), run(64)
-			if one.Counts != big.Counts {
-				t.Fatalf("tallies differ across claim batches: %v vs %v", one.Counts, big.Counts)
-			}
-			for i := range one.Experiments {
-				if one.Experiments[i] != big.Experiments[i] {
-					t.Fatalf("experiment %d differs across claim batches", i)
+			one := run(1)
+			for _, batch := range []int{64, 0} {
+				other := run(batch)
+				if one.Counts != other.Counts {
+					t.Fatalf("tallies differ between claim batch 1 and %d: %v vs %v", batch, one.Counts, other.Counts)
+				}
+				for i := range one.Experiments {
+					if one.Experiments[i] != other.Experiments[i] {
+						t.Fatalf("experiment %d differs between claim batch 1 and %d", i, batch)
+					}
 				}
 			}
 		})
+	}
+}
+
+// TestAutoClaimBatch pins the auto-tuner's contract: always at least 1,
+// never past the clamp, scaling with N and shrinking with workers so
+// every worker gets several claim rounds.
+func TestAutoClaimBatch(t *testing.T) {
+	cases := []struct {
+		n, workers, want int
+	}{
+		{1, 8, 1},         // tiny run degrades to claim-per-experiment
+		{100, 4, 6},       // N/(workers*4)
+		{200, 8, 6},       // the old fixed default's worst case stays small
+		{10000, 8, 312},   // would overshoot: clamped
+		{1000000, 1, 256}, // huge single-worker run hits the clamp
+		{16, 16, 1},       // one experiment per worker
+	}
+	for _, c := range cases {
+		got := core.AutoClaimBatch(c.n, c.workers)
+		want := c.want
+		if want > core.MaxClaimBatch {
+			want = core.MaxClaimBatch
+		}
+		if got != want {
+			t.Errorf("AutoClaimBatch(%d, %d) = %d, want %d", c.n, c.workers, got, want)
+		}
+		if got < 1 || got > core.MaxClaimBatch {
+			t.Errorf("AutoClaimBatch(%d, %d) = %d outside [1, %d]", c.n, c.workers, got, core.MaxClaimBatch)
+		}
+		// A worker can never be starved: the batch leaves every worker at
+		// least one claim when N >= workers.
+		if c.n >= c.workers && got > c.n/c.workers {
+			t.Errorf("AutoClaimBatch(%d, %d) = %d starves workers", c.n, c.workers, got)
+		}
 	}
 }
 

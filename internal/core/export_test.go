@@ -7,3 +7,10 @@ func SetExperimentHook(h func(idx int)) (restore func()) {
 	experimentHook = h
 	return func() { experimentHook = nil }
 }
+
+// AutoClaimBatch exposes the claim-batch auto-tuner to the invariance
+// and property tests.
+var AutoClaimBatch = autoClaimBatch
+
+// MaxClaimBatch exposes the auto-tuner's upper clamp.
+const MaxClaimBatch = maxClaimBatch

@@ -1,0 +1,323 @@
+package core
+
+// FileJournal: the durable Journal. The format is an append-only log of
+// checksummed JSON records, one per line:
+//
+//	crc32(payload) as 8 hex digits, a space, the JSON payload, '\n'
+//
+// Record types (the "t" field): "meta" (campaign identity, first
+// record), "lease" (shard, worker, expiry) and "done" (shard
+// checkpoint). Each record is written with a single O_APPEND write, so
+// concurrent worker processes sharing the file interleave whole records
+// on any POSIX filesystem. There is no compaction and no fsync: a crash
+// can lose the tail of the log, never the middle, and whatever a torn
+// tail loses is re-executed deterministically on resume.
+//
+// The loader is tolerant by construction: a line whose checksum or JSON
+// does not parse is skipped (a torn write from a crashed or concurrent
+// writer), a trailing partial line is left pending until its newline
+// arrives, and an inconsistent "done" record is dropped by the shared
+// journalState validation. The worst case of any corruption is a shard
+// that re-runs — results are unaffected. FuzzJournalLoader pins this.
+//
+// Every mutating call first absorbs records appended by other processes
+// since the last read, so a FileJournal is also a live view of a
+// campaign being drained by a fleet.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// encodeLine frames one record payload: 8 hex digits of CRC-32, a
+// space, the payload, '\n'. The journal and the shared memo use the same
+// framing.
+func encodeLine(payload []byte) []byte {
+	return []byte(fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload))
+}
+
+// decodeLine unframes one record line (without its '\n'), reporting
+// whether the checksum held.
+func decodeLine(line []byte) ([]byte, bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, false
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return nil, false
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, false
+	}
+	return payload, true
+}
+
+// splitLines splits record data on '\n', dropping a trailing partial
+// line (a torn final write).
+func splitLines(data []byte) [][]byte {
+	var out [][]byte
+	for {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			return out
+		}
+		out = append(out, data[:nl])
+		data = data[nl+1:]
+	}
+}
+
+// journalRecord is the on-disk union of the three record types.
+type journalRecord struct {
+	T     string        `json:"t"`
+	Meta  *CampaignMeta `json:"meta,omitempty"`
+	Shard int           `json:"s,omitempty"`
+	// Worker and Exp (lease expiry, Unix milliseconds) belong to "lease"
+	// records.
+	Worker string       `json:"w,omitempty"`
+	Exp    int64        `json:"exp,omitempty"`
+	Res    *ShardResult `json:"res,omitempty"`
+}
+
+// FileJournal implements Journal over an append-only record log shared
+// by worker processes.
+type FileJournal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	// readOff is how far absorb has consumed the file; pending buffers a
+	// trailing partial line until the rest of it lands.
+	readOff int64
+	pending []byte
+	st      journalState
+}
+
+// OpenFileJournal opens (creating if needed) a journal file and absorbs
+// its records. Opening never fails on corrupt content — bad records are
+// skipped — only on I/O errors.
+func OpenFileJournal(path string) (*FileJournal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: open journal: %w", err)
+	}
+	j := &FileJournal{f: f, path: path, st: journalState{now: time.Now}}
+	if err := j.absorbLocked(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// Path returns the journal file's path.
+func (j *FileJournal) Path() string { return j.path }
+
+// Meta returns the bound campaign identity (zero until Bind or until the
+// file's meta record is absorbed).
+func (j *FileJournal) Meta() CampaignMeta {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st.meta
+}
+
+// absorbLocked reads records appended since the last absorb and applies
+// them. Torn or corrupt lines are skipped; a trailing partial line stays
+// pending. Callers hold j.mu.
+func (j *FileJournal) absorbLocked() error {
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := j.f.ReadAt(buf, j.readOff)
+		if n > 0 {
+			j.readOff += int64(n)
+			j.pending = append(j.pending, buf[:n]...)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("core: read journal: %w", err)
+		}
+	}
+	for {
+		nl := bytes.IndexByte(j.pending, '\n')
+		if nl < 0 {
+			break
+		}
+		line := j.pending[:nl]
+		j.pending = j.pending[nl+1:]
+		j.applyLine(line)
+	}
+	return nil
+}
+
+// applyLine parses and applies one complete record line, skipping
+// anything malformed.
+func (j *FileJournal) applyLine(line []byte) {
+	payload, ok := decodeLine(line)
+	if !ok {
+		return
+	}
+	var rec journalRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return
+	}
+	switch rec.T {
+	case "meta":
+		if rec.Meta != nil && !j.st.bound {
+			// init only fails on invalid shape; a bad meta record is skipped
+			// like any other corrupt line.
+			_ = j.st.init(*rec.Meta)
+		}
+	case "lease":
+		j.st.applyLease(rec.Shard, rec.Worker, time.UnixMilli(rec.Exp))
+	case "done":
+		if rec.Res != nil {
+			j.st.applyDone(rec.Res)
+		}
+	}
+}
+
+// appendLocked writes one record with a single O_APPEND write. Callers
+// hold j.mu. The write advances readOff past our own record so absorb
+// does not re-parse it; the record is applied by the caller.
+func (j *FileJournal) appendLocked(rec *journalRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("core: encode journal record: %w", err)
+	}
+	if _, err := j.f.Write(encodeLine(payload)); err != nil {
+		return fmt.Errorf("core: append journal record: %w", err)
+	}
+	return nil
+}
+
+// Bind implements Journal: absorb the file, then install or validate the
+// campaign identity, writing the meta record if the file had none.
+func (j *FileJournal) Bind(meta CampaignMeta) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.absorbLocked(); err != nil {
+		return err
+	}
+	hadMeta := j.st.bound
+	if err := j.st.init(meta); err != nil {
+		return err
+	}
+	if !hadMeta {
+		return j.appendLocked(&journalRecord{T: "meta", Meta: &meta})
+	}
+	return nil
+}
+
+// Claim implements Journal. The lease record is persisted before the
+// claim is returned, so a peer absorbing the log sees the shard as taken.
+func (j *FileJournal) Claim(worker string, ttl time.Duration) (int, ClaimState, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.absorbLocked(); err != nil {
+		return 0, ClaimWait, err
+	}
+	shard, state := j.st.findClaim()
+	if state != ClaimOK {
+		return shard, state, nil
+	}
+	exp := j.st.now().Add(ttl)
+	if err := j.appendLocked(&journalRecord{T: "lease", Shard: shard, Worker: worker, Exp: exp.UnixMilli()}); err != nil {
+		return 0, ClaimWait, err
+	}
+	j.st.applyLease(shard, worker, exp)
+	return shard, ClaimOK, nil
+}
+
+// Checkpoint implements Journal. A shard that is already checkpointed —
+// a peer beat us to it after a lease steal — is dropped without a write:
+// shard results are deterministic, so the duplicate is identical.
+func (j *FileJournal) Checkpoint(res ShardResult) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.absorbLocked(); err != nil {
+		return err
+	}
+	if !j.st.bound || res.Shard < 0 || res.Shard >= len(j.st.shards) {
+		return fmt.Errorf("core: checkpoint shard %d outside campaign", res.Shard)
+	}
+	if j.st.shards[res.Shard].res != nil {
+		return nil
+	}
+	if err := j.appendLocked(&journalRecord{T: "done", Shard: res.Shard, Res: &res}); err != nil {
+		return err
+	}
+	j.st.applyDone(&res)
+	return nil
+}
+
+// Results implements Journal.
+func (j *FileJournal) Results() ([]*ShardResult, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.absorbLocked(); err != nil {
+		return nil, err
+	}
+	return j.st.results(), nil
+}
+
+// Status implements Journal.
+func (j *FileJournal) Status() (CampaignStatus, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.absorbLocked(); err != nil {
+		return CampaignStatus{}, err
+	}
+	if !j.st.bound {
+		return CampaignStatus{}, fmt.Errorf("core: journal %s holds no campaign", j.path)
+	}
+	return j.st.status(), nil
+}
+
+// Close implements Journal.
+func (j *FileJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// JournalInfo pairs a journal file with its campaign identity and
+// progress, for `fi -status`.
+type JournalInfo struct {
+	Path   string
+	Meta   CampaignMeta
+	Status CampaignStatus
+}
+
+// InspectDir scans a journal directory and reports every campaign in it,
+// sorted by path. Journals whose meta record is missing or torn are
+// skipped (there is nothing to report yet).
+func InspectDir(dir string) ([]JournalInfo, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "campaign-*.mfj"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []JournalInfo
+	for _, p := range paths {
+		j, err := OpenFileJournal(p)
+		if err != nil {
+			return nil, err
+		}
+		st, serr := j.Status()
+		meta := j.Meta()
+		j.Close()
+		if serr != nil {
+			continue
+		}
+		out = append(out, JournalInfo{Path: p, Meta: meta, Status: st})
+	}
+	return out, nil
+}

@@ -1,0 +1,348 @@
+package core_test
+
+// Campaign-service tests: the shard-merge algebra, the lease-steal
+// protocol, resume from a file journal, and the mid-flight status
+// snapshot. The crash/restart differential harness lives in
+// crash_restart_test.go.
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"multiflip/internal/core"
+	"multiflip/internal/xrand"
+)
+
+// baselineRun executes a plain (unjournaled) recorded register campaign
+// and returns its result: the reference every journaled variant must
+// reproduce bit-identically.
+func baselineRun(t *testing.T, tg *core.Target, n int, noConverge bool) *core.EngineResult {
+	t.Helper()
+	eng := registerEngine(tg)
+	eng.N = n
+	eng.Seed = 11
+	eng.Record = true
+	eng.NoConverge = noConverge
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// registerEngine builds a multi-bit register-model engine over tg (the
+// model mix exercises every outcome class on the test programs).
+func registerEngine(tg *core.Target) *core.Engine {
+	return &core.Engine{Target: tg, Model: &core.RegisterModel{Spec: &core.CampaignSpec{
+		Target:    tg,
+		Technique: core.InjectOnRead,
+		Config:    core.Config{MaxMBF: 3, Win: core.Win(10)},
+	}}}
+}
+
+// sameResult fails the test unless two engine results agree on every
+// deterministic field (Converged/MemoHits are compared too when both
+// runs had early exits disabled — callers pass wantEarly=false to skip
+// them for runs where scheduling may move the split).
+func sameResult(t *testing.T, label string, want, got *core.EngineResult, wantEarly bool) {
+	t.Helper()
+	if want.Counts != got.Counts {
+		t.Errorf("%s: tallies differ: %v vs %v", label, want.Counts, got.Counts)
+	}
+	if want.CrashActivated != got.CrashActivated {
+		t.Errorf("%s: crash histograms differ", label)
+	}
+	if want.TrapCounts != got.TrapCounts {
+		t.Errorf("%s: trap counts differ", label)
+	}
+	if want.ActivatedTotal != got.ActivatedTotal {
+		t.Errorf("%s: activated totals differ: %d vs %d", label, want.ActivatedTotal, got.ActivatedTotal)
+	}
+	if wantEarly && (want.Converged != got.Converged || want.MemoHits != got.MemoHits) {
+		t.Errorf("%s: early-exit counters differ: conv %d vs %d, memo %d vs %d",
+			label, want.Converged, got.Converged, want.MemoHits, got.MemoHits)
+	}
+	if len(want.Experiments) != len(got.Experiments) {
+		t.Fatalf("%s: experiment counts differ: %d vs %d", label, len(want.Experiments), len(got.Experiments))
+	}
+	for i := range want.Experiments {
+		if want.Experiments[i] != got.Experiments[i] {
+			t.Fatalf("%s: experiment %d differs: %+v vs %+v",
+				label, i, want.Experiments[i], got.Experiments[i])
+		}
+	}
+}
+
+// TestShardMergeProperty checks the algebra resume correctness rests on:
+// folding any contiguous partition of a campaign's experiments, in any
+// order and any grouping, reproduces the direct result exactly. The
+// partitions are random per trial; the baseline runs NoConverge so the
+// per-experiment Add (which cannot know the early-exit split) matches
+// the counters too.
+func TestShardMergeProperty(t *testing.T) {
+	tg := target(t, "CRC32")
+	const n = 120
+	want := baselineRun(t, tg, n, true)
+
+	rng := xrand.New(99)
+	for trial := 0; trial < 25; trial++ {
+		// A random contiguous partition: each boundary is kept with
+		// probability ~1/6, so shard sizes vary from 1 to tens.
+		var bounds []int
+		for i := 1; i < n; i++ {
+			if rng.Intn(6) == 0 {
+				bounds = append(bounds, i)
+			}
+		}
+		bounds = append(bounds, n)
+		// Rebuild each shard from the per-experiment records.
+		type shard struct {
+			sr core.ShardResult
+			lo int
+		}
+		var shards []shard
+		lo := 0
+		for i, hi := range bounds {
+			sr := core.ShardResult{Shard: i}
+			for j := lo; j < hi; j++ {
+				exp := want.Experiments[j]
+				sr.Add(&exp, false, false)
+				sr.Experiments = append(sr.Experiments, exp)
+			}
+			shards = append(shards, shard{sr, lo})
+			lo = hi
+		}
+		// Shuffle: folding order must not matter.
+		for i := len(shards) - 1; i > 0; i-- {
+			j := int(rng.Uint64n(uint64(i + 1)))
+			shards[i], shards[j] = shards[j], shards[i]
+		}
+		// Random grouping: split the shards across two partial results,
+		// then merge the partials (in both orders — commutativity).
+		for pass := 0; pass < 2; pass++ {
+			parts := [2]*core.EngineResult{
+				{Experiments: make([]core.Experiment, n)},
+				{Experiments: make([]core.Experiment, n)},
+			}
+			for _, sh := range shards {
+				parts[rng.Intn(2)].Fold(&sh.sr, sh.lo)
+			}
+			a, b := parts[pass%2], parts[(pass+1)%2]
+			a.Merge(b)
+			sameResult(t, "merged partition", want, a, true)
+		}
+	}
+}
+
+// TestJournalLeaseSteal runs two drainers over one journal with one of
+// them stalled mid-shard past its lease TTL: the peer must steal the
+// stalled shard, the stalled drainer's late checkpoint must be dropped
+// as a duplicate, and both drainers' folded results must match the
+// uninterrupted baseline exactly — no experiment lost, none counted
+// twice.
+func TestJournalLeaseSteal(t *testing.T) {
+	tg := target(t, "CRC32")
+	const n = 48
+	want := baselineRun(t, tg, n, false)
+
+	j := core.NewMemJournal()
+	var stallOnce sync.Once
+	restore := core.SetExperimentHook(func(idx int) {
+		// The first experiment claimed by either drainer stalls well past
+		// the lease TTL, forcing the peer to steal its shard.
+		stallOnce.Do(func() { time.Sleep(300 * time.Millisecond) })
+	})
+	defer restore()
+
+	run := func(worker string) (*core.EngineResult, error) {
+		eng := registerEngine(tg)
+		eng.N = n
+		eng.Seed = 11
+		eng.Record = true
+		eng.Workers = 1
+		eng.Service = &core.Service{
+			Journal:   j,
+			WorkerID:  worker,
+			ShardSize: 4,
+			LeaseTTL:  50 * time.Millisecond,
+		}
+		return eng.Run()
+	}
+	var wg sync.WaitGroup
+	results := make([]*core.EngineResult, 2)
+	errs := make([]error, 2)
+	for i, worker := range []string{"drainer-a", "drainer-b"} {
+		wg.Add(1)
+		go func(i int, worker string) {
+			defer wg.Done()
+			results[i], errs[i] = run(worker)
+		}(i, worker)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("drainer %d: %v", i, err)
+		}
+	}
+	for i, res := range results {
+		if res.Tally.N() != n {
+			t.Errorf("drainer %d tallied %d experiments, want %d", i, res.Tally.N(), n)
+		}
+		// Early-exit counters are scheduling-dependent; everything else
+		// must match the uninterrupted run bit for bit.
+		sameResult(t, "stolen-lease drain", want, res, false)
+	}
+
+	st, err := j.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != st.Shards || st.Pending != 0 || st.Leased != 0 {
+		t.Errorf("drained journal status %+v", st)
+	}
+	if st.Tally.N() != n {
+		t.Errorf("journal tally holds %d experiments, want %d", st.Tally.N(), n)
+	}
+}
+
+// TestFileJournalResume checks the file journal end to end: a completed
+// campaign's journal resumes without re-running anything, produces the
+// identical result, shows up in InspectDir — and a non-resume rerun
+// discards it and starts fresh.
+func TestFileJournalResume(t *testing.T) {
+	tg := target(t, "CRC32")
+	const n = 60
+	want := baselineRun(t, tg, n, false)
+	dir := t.TempDir()
+
+	run := func(resume bool) (*core.EngineResult, int) {
+		var ran atomic.Int64
+		restore := core.SetExperimentHook(func(idx int) { ran.Add(1) })
+		defer restore()
+		eng := registerEngine(tg)
+		eng.N = n
+		eng.Seed = 11
+		eng.Record = true
+		eng.Service = &core.Service{Dir: dir, Resume: resume, ShardSize: 8}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, int(ran.Load())
+	}
+
+	first, ran := run(false)
+	if ran != n {
+		t.Errorf("first run executed %d experiments, want %d", ran, n)
+	}
+	sameResult(t, "journaled run", want, first, false)
+
+	resumed, ran := run(true)
+	if ran != 0 {
+		t.Errorf("resume of a complete campaign executed %d experiments, want 0", ran)
+	}
+	sameResult(t, "resumed run", want, resumed, false)
+
+	infos, err := core.InspectDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("InspectDir found %d campaigns, want 1", len(infos))
+	}
+	if got := infos[0]; got.Meta.N != n || got.Status.Done != got.Status.Shards || got.Status.ExperimentsDone != n {
+		t.Errorf("InspectDir reports %+v / %+v", got.Meta, got.Status)
+	}
+
+	fresh, ran := run(false)
+	if ran != n {
+		t.Errorf("non-resume rerun executed %d experiments, want %d (journal kept?)", ran, n)
+	}
+	sameResult(t, "fresh rerun", want, fresh, false)
+}
+
+// TestJournalBindMismatch checks the journal refuses to resume a
+// different campaign: same file, different meta.
+func TestJournalBindMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign-test.mfj")
+	j, err := core.OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := core.CampaignMeta{Fingerprint: 1, Model: "register tech=read", N: 40, ShardSize: 8, Seed: 3}
+	if err := j.Bind(meta); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j, err = core.OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	other := meta
+	other.Seed = 4
+	if err := j.Bind(other); err == nil {
+		t.Error("journal bound a different campaign")
+	}
+	if err := j.Bind(meta); err != nil {
+		t.Errorf("journal refused its own campaign: %v", err)
+	}
+}
+
+// TestCampaignStatusMidFlight snapshots a live campaign from inside an
+// experiment hook: the shard partition must always account for every
+// shard, and the running tally must only cover checkpointed shards.
+func TestCampaignStatusMidFlight(t *testing.T) {
+	tg := target(t, "CRC32")
+	const n = 64
+	j := core.NewMemJournal()
+
+	var calls atomic.Int64
+	var statusErr error
+	var once sync.Once
+	restore := core.SetExperimentHook(func(idx int) {
+		// Probe once, midway through the campaign.
+		if calls.Add(1) == n/2 {
+			once.Do(func() {
+				st, err := j.Status()
+				if err != nil {
+					statusErr = err
+					return
+				}
+				if st.Done+st.Leased+st.Pending != st.Shards {
+					statusErr = fmt.Errorf("status partition does not cover the shards: %+v", st)
+					return
+				}
+				if st.Tally.N() != st.ExperimentsDone {
+					statusErr = fmt.Errorf("status tally covers %d experiments, done says %d", st.Tally.N(), st.ExperimentsDone)
+				}
+			})
+		}
+	})
+	defer restore()
+
+	eng := registerEngine(tg)
+	eng.N = n
+	eng.Seed = 11
+	eng.Workers = 2
+	eng.Service = &core.Service{Journal: j, ShardSize: 8}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if statusErr != nil {
+		t.Error(statusErr)
+	}
+	st, err := j.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != st.Shards || st.ExperimentsDone != n {
+		t.Errorf("final status %+v", st)
+	}
+}

@@ -1,0 +1,277 @@
+package core
+
+// The campaign service: the configuration that turns an Engine run into
+// a durable, resumable, multi-process job. A Service names a journal
+// directory (or injects a Journal directly); the engine then executes
+// through runJournaled — claiming shards, checkpointing them, folding
+// stored results on resume — instead of the in-memory fast path.
+//
+// Files in the journal directory are content-addressed: the campaign
+// journal is campaign-<fingerprint>.mfj where the fingerprint digests
+// the target's observable behaviour, the fault model's parameters and
+// every engine knob that shapes the recorded result. Resume therefore
+// needs no bookkeeping — re-running the same campaign command with
+// -resume finds its own journal, and a changed parameter lands in a
+// fresh file instead of corrupting an old campaign.
+//
+// The directory also carries memo-<fingerprint>.mfj: the cross-campaign
+// fault-equivalence memo. Its fingerprint deliberately excludes the
+// fault model and campaign parameters — a memo entry maps a
+// post-injection VM state to the outcome of running the program to
+// completion from that state, which depends only on the program's
+// behaviour and the execution budgets. Campaigns with different
+// techniques, fault models or seeds over the same target share one memo
+// file, which is what makes the memo a shared cache rather than a
+// per-run optimization.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"multiflip/internal/vm"
+	"multiflip/internal/xrand"
+)
+
+// Service configures journaled campaign execution. A zero/nil Service —
+// or one with neither Journal nor Dir — leaves the engine on its
+// in-memory fast path.
+type Service struct {
+	// Dir is the journal directory: campaign journals and shared memo
+	// files are content-addressed inside it.
+	Dir string
+	// Resume keeps an existing campaign journal and folds its checkpoints
+	// instead of re-running them. Without Resume, an existing journal for
+	// the same campaign is discarded and the campaign starts fresh.
+	Resume bool
+	// Journal, when non-nil, overrides Dir for the campaign journal: the
+	// engine binds this journal directly (in-process drainers share a
+	// MemJournal this way). The caller owns its lifecycle.
+	Journal Journal
+	// Memo, when non-nil, overrides the Dir-derived memo file.
+	// The caller owns its lifecycle.
+	Memo *SharedMemo
+	// WorkerID identifies this process in shard leases (empty =
+	// "hostname:pid").
+	WorkerID string
+	// ShardSize is the experiments per shard (0 = DefaultShardSize).
+	ShardSize int
+	// LeaseTTL is the shard lease duration (0 = DefaultLeaseTTL).
+	LeaseTTL time.Duration
+}
+
+// active reports whether the service routes campaigns through a journal.
+func (s *Service) active() bool {
+	return s != nil && (s.Journal != nil || s.Dir != "")
+}
+
+// journalFor opens the campaign journal for an engine: the injected
+// Journal if set, else the content-addressed file under Dir. The second
+// return reports ownership (the engine closes journals it opened).
+func (s *Service) journalFor(e *Engine) (Journal, bool, error) {
+	if s.Journal != nil {
+		return s.Journal, false, nil
+	}
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return nil, false, fmt.Errorf("core: journal dir: %w", err)
+	}
+	path := filepath.Join(s.Dir, fmt.Sprintf("campaign-%016x.mfj", e.fingerprint()))
+	if !s.Resume {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return nil, false, fmt.Errorf("core: reset journal: %w", err)
+		}
+	}
+	j, err := OpenFileJournal(path)
+	if err != nil {
+		return nil, false, err
+	}
+	return j, true, nil
+}
+
+// memoFor opens the shared memo for an engine: the injected Memo if
+// set, else the content-addressed file under Dir. The second return
+// reports ownership. A nil table means the caller should fall back to a
+// private in-memory memo.
+func (s *Service) memoFor(e *Engine) (*SharedMemo, bool, error) {
+	if s.Memo != nil {
+		return s.Memo, false, nil
+	}
+	if s.Dir == "" {
+		return nil, false, nil
+	}
+	path := filepath.Join(s.Dir, fmt.Sprintf("memo-%016x.mfj", e.memoFingerprint()))
+	m, err := OpenSharedMemo(path)
+	if err != nil {
+		return nil, false, err
+	}
+	return m, true, nil
+}
+
+// defaultWorkerID identifies this process in shard leases.
+func defaultWorkerID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s:%d", host, os.Getpid())
+}
+
+// mix folds one value into a fingerprint (SplitMix64 diffusion).
+func mix(h, v uint64) uint64 {
+	st := h ^ v
+	return xrand.SplitMix64(&st)
+}
+
+// mixBytes folds a byte string into a fingerprint via FNV-1a.
+func mixBytes(h uint64, b []byte) uint64 {
+	f := uint64(14695981039346656037)
+	for _, c := range b {
+		f = (f ^ uint64(c)) * 1099511628211
+	}
+	return mix(h, f)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// memoFingerprint digests everything a memo entry's validity depends on:
+// the target's observable behaviour (name, golden output, dynamic
+// profile, candidate-space sizes) plus the execution budgets and the
+// exception surface. Fault model, technique, N and seed are deliberately
+// absent — a memoized continuation outcome holds for any campaign that
+// reaches the same post-injection state.
+func (e *Engine) memoFingerprint() uint64 {
+	t := e.Target
+	hangFactor := e.HangFactor
+	if hangFactor == 0 {
+		hangFactor = DefaultHangFactor
+	}
+	h := uint64(0x6d756c7469666c69) // "multifli"
+	h = mixBytes(h, []byte(t.Name))
+	h = mix(h, t.GoldenDyn)
+	h = mix(h, t.ReadCands)
+	h = mix(h, t.WriteCands)
+	h = mixBytes(h, t.Golden)
+	h = mix(h, hangFactor)
+	h = mix(h, b2u(e.NoAlignTrap))
+	return h
+}
+
+// fingerprint is the campaign's content address: the memo fingerprint
+// plus the fault model's self-description and every engine knob that
+// shapes the recorded result. Two engines agree on it exactly when their
+// campaigns are interchangeable experiment-for-experiment.
+func (e *Engine) fingerprint() uint64 {
+	h := e.memoFingerprint()
+	h = mixBytes(h, []byte(e.Model.Describe()))
+	h = mix(h, uint64(e.N))
+	h = mix(h, e.Seed)
+	h = mix(h, b2u(e.Record))
+	h = mix(h, b2u(e.NoConverge))
+	return h
+}
+
+// memoRec is the shared memo's on-disk record: one fault-equivalence
+// fact, StateKey -> continuation outcome.
+type memoRec struct {
+	K vm.StateKey `json:"k"`
+	V Outcome     `json:"v"`
+	P vm.TrapKind `json:"p,omitempty"`
+}
+
+// SharedMemo is the cross-campaign fault-equivalence memo: a
+// process-wide map mirrored to an append-only checksummed record file
+// (same line codec as the journal). Campaigns sharing a memo skip the
+// continuation of any post-injection state another campaign — or a
+// previous process — already executed. Correctness never depends on the
+// file's contents: entries are deterministic facts, a lost entry only
+// costs a re-execution, and a torn line is skipped by the loader.
+type SharedMemo struct {
+	mu    sync.Mutex
+	path  string
+	m     sync.Map
+	fresh []byte
+}
+
+// OpenSharedMemo opens (creating on first Flush if needed) a shared memo
+// file, loading every intact record. A missing file is an empty memo.
+func OpenSharedMemo(path string) (*SharedMemo, error) {
+	m := &SharedMemo{path: path}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return m, nil
+		}
+		return nil, fmt.Errorf("core: open memo: %w", err)
+	}
+	for _, line := range splitLines(data) {
+		payload, ok := decodeLine(line)
+		if !ok {
+			continue
+		}
+		var rec memoRec
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			continue
+		}
+		m.m.LoadOrStore(rec.K, memoVal{outcome: rec.V, trap: rec.P})
+	}
+	return m, nil
+}
+
+// load implements memoTable.
+func (m *SharedMemo) load(k vm.StateKey) (memoVal, bool) {
+	v, ok := m.m.Load(k)
+	if !ok {
+		return memoVal{}, false
+	}
+	return v.(memoVal), true
+}
+
+// store implements memoTable: new entries are queued for the next Flush.
+func (m *SharedMemo) store(k vm.StateKey, v memoVal) {
+	if _, loaded := m.m.LoadOrStore(k, v); loaded {
+		return
+	}
+	payload, err := json.Marshal(memoRec{K: k, V: v.outcome, P: v.trap})
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	m.fresh = append(m.fresh, encodeLine(payload)...)
+	m.mu.Unlock()
+}
+
+// Flush appends the entries stored since the last flush to the memo file
+// with a single O_APPEND write, so concurrent processes interleave whole
+// records.
+func (m *SharedMemo) Flush() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.fresh) == 0 {
+		return nil
+	}
+	f, err := os.OpenFile(m.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("core: flush memo: %w", err)
+	}
+	_, werr := f.Write(m.fresh)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("core: flush memo: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("core: flush memo: %w", cerr)
+	}
+	m.fresh = nil
+	return nil
+}
+
+// Close flushes pending entries.
+func (m *SharedMemo) Close() error { return m.Flush() }

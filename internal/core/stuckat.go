@@ -54,6 +54,9 @@ type StuckAtSpec struct {
 	// NoConverge disables convergence-gated early termination and the
 	// fault-equivalence memo.
 	NoConverge bool
+	// Service, when set (and naming a journal or directory), runs the
+	// campaign as a durable job (see core.Service).
+	Service *Service
 }
 
 // window returns the spec's hold window with the default applied.
@@ -103,6 +106,11 @@ type StuckAtModel struct {
 
 // Prefix implements FaultModel.
 func (m *StuckAtModel) Prefix() string { return "stuckat" }
+
+// Describe implements FaultModel.
+func (m *StuckAtModel) Describe() string {
+	return fmt.Sprintf("stuckat win=%s", m.Spec.window())
+}
 
 // Validate implements FaultModel. A zero Lo cannot reach here: the only
 // representable zero window is the WinSize zero value, which window()
@@ -173,6 +181,7 @@ func RunStuckAt(spec StuckAtSpec) (*StuckAtResult, error) {
 		Record:     spec.Record,
 		NoFusion:   spec.NoFusion,
 		NoConverge: spec.NoConverge,
+		Service:    spec.Service,
 	}).Run()
 	if err != nil {
 		return nil, err

@@ -15,6 +15,15 @@ type Tally struct {
 // Add records one experiment outcome.
 func (t *Tally) Add(o Outcome) { t.Counts[o]++ }
 
+// Merge folds another tally into t. Merging is associative and
+// commutative (each bucket is a sum), which is what lets campaign shards
+// aggregate incrementally and in any order (see ShardResult).
+func (t *Tally) Merge(o *Tally) {
+	for i, c := range o.Counts {
+		t.Counts[i] += c
+	}
+}
+
 // N returns the number of experiments tallied.
 func (t *Tally) N() int {
 	n := 0

@@ -59,6 +59,9 @@ type Spec struct {
 	NoConverge bool
 	// Record keeps per-experiment outcomes in the result.
 	Record bool
+	// Service, when set (and naming a journal or directory), runs the
+	// campaign as a durable job (see core.Service).
+	Service *core.Service
 }
 
 // validate checks the engine-level fields; the model-level checks (bit
@@ -106,6 +109,9 @@ type Model struct {
 
 // Prefix implements core.FaultModel.
 func (m *Model) Prefix() string { return "memfault" }
+
+// Describe implements core.FaultModel.
+func (m *Model) Describe() string { return fmt.Sprintf("memfault bits=%d", m.Spec.Bits) }
 
 // Validate implements core.FaultModel.
 func (m *Model) Validate(t *core.Target, n int) error {
@@ -159,6 +165,7 @@ func Run(spec Spec) (*Result, error) {
 		Record:     spec.Record,
 		NoFusion:   spec.NoFusion,
 		NoConverge: spec.NoConverge,
+		Service:    spec.Service,
 	}).Run()
 	if err != nil {
 		return nil, err

@@ -50,8 +50,29 @@ type Options struct {
 	// are bit-identical either way; the knob supports A/B timing and the
 	// CI convergence ablation.
 	NoConverge bool
+	// JournalDir, when set, runs every campaign as a durable journaled
+	// job under this directory: campaigns checkpoint per shard, a killed
+	// study resumes from its last checkpoints (with Resume), and
+	// concurrent study processes sharing the directory drain the same
+	// campaigns cooperatively. Campaign journals and the cross-campaign
+	// fault-equivalence memo are content-addressed, so no coordination
+	// beyond the shared directory is needed.
+	JournalDir string
+	// Resume folds checkpoints already present in JournalDir instead of
+	// discarding them. Without it, every campaign starts fresh.
+	Resume bool
 	// Log, when non-nil, receives one progress line per campaign batch.
 	Log io.Writer
+}
+
+// service returns the campaign Service for the study's options, or nil
+// when no journal directory is configured (campaigns then run on the
+// engine's in-memory fast path).
+func (o Options) service() *core.Service {
+	if o.JournalDir == "" {
+		return nil
+	}
+	return &core.Service{Dir: o.JournalDir, Resume: o.Resume}
 }
 
 func (o Options) withDefaults() Options {
@@ -166,6 +187,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 		Single: make(map[core.Technique]*core.CampaignResult, 2),
 		Multi:  make(map[core.Technique][]*core.CampaignResult, 2),
 	}
+	svc := opts.service()
 	for _, tech := range core.Techniques() {
 		logf(opts.Log, "%s %s: single-bit + %d multi-bit campaigns (n=%d)",
 			name, tech, len(opts.MaxMBFs)*len(opts.WinSizes), opts.N)
@@ -180,6 +202,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 			Record:      true,
 			NoSnapshots: opts.NoSnapshots,
 			NoConverge:  opts.NoConverge,
+			Service:     svc,
 		})
 		if err != nil {
 			return nil, err
@@ -198,6 +221,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 					Workers:     opts.Workers,
 					NoSnapshots: opts.NoSnapshots,
 					NoConverge:  opts.NoConverge,
+					Service:     svc,
 				})
 				if err != nil {
 					return nil, err
@@ -221,6 +245,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 		Workers:     opts.Workers,
 		NoSnapshots: opts.NoSnapshots,
 		NoConverge:  opts.NoConverge,
+		Service:     svc,
 	})
 	if err != nil {
 		return nil, err
