@@ -238,22 +238,31 @@ func BenchmarkMemFaultSweep(b *testing.B) {
 	}
 }
 
-// BenchmarkVMGoldenRun measures raw interpreter throughput on fault-free
-// runs of three differently shaped workloads, under the default
-// token-threaded dispatch with superinstruction fusion.
+// BenchmarkVMGoldenRun measures raw VM throughput on fault-free runs of
+// three differently shaped workloads, under the default configuration:
+// compiled fast-tier kernels between event horizons, token-threaded
+// dispatch with superinstruction fusion everywhere else.
 func BenchmarkVMGoldenRun(b *testing.B) {
-	benchVMGoldenRun(b, false)
+	benchVMGoldenRun(b, vm.Options{})
 }
 
-// BenchmarkVMGoldenRunNoFuse is the dispatch ablation: the same runs with
-// superinstructions disabled, isolating the fusion share of the speedup.
-// The fusion differential tests guarantee both variants produce
-// bit-identical results.
+// BenchmarkVMGoldenRunNoCompile is the compiled-tier ablation: the same
+// runs forced onto the token-threaded interpreter, isolating the
+// fast-tier share of the speedup. The compiled-tier differential tests
+// guarantee both variants produce bit-identical results.
+func BenchmarkVMGoldenRunNoCompile(b *testing.B) {
+	benchVMGoldenRun(b, vm.Options{NoCompile: true})
+}
+
+// BenchmarkVMGoldenRunNoFuse is the dispatch ablation: the compiled tier
+// off and superinstructions disabled too, isolating the fusion share.
+// (The compiled tier would otherwise mask fusion entirely on these
+// kernel-covered workloads.)
 func BenchmarkVMGoldenRunNoFuse(b *testing.B) {
-	benchVMGoldenRun(b, true)
+	benchVMGoldenRun(b, vm.Options{NoCompile: true, NoFuse: true})
 }
 
-func benchVMGoldenRun(b *testing.B, noFuse bool) {
+func benchVMGoldenRun(b *testing.B, opts vm.Options) {
 	for _, name := range []string{"CRC32", "FFT", "susan_smoothing"} {
 		bench, err := prog.ByName(name)
 		if err != nil {
@@ -266,7 +275,7 @@ func benchVMGoldenRun(b *testing.B, noFuse bool) {
 		b.Run(name, func(b *testing.B) {
 			var dyn uint64
 			for i := 0; i < b.N; i++ {
-				res, err := vm.Run(p, vm.Options{NoFuse: noFuse})
+				res, err := vm.Run(p, opts)
 				if err != nil {
 					b.Fatal(err)
 				}

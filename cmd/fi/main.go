@@ -50,6 +50,7 @@ type options struct {
 	workers int
 	nosnap  bool
 	noconv  bool
+	nocomp  bool
 	journal string
 	resume  bool
 	status  bool
@@ -68,6 +69,7 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.nosnap, "nosnap", false, "disable golden-run snapshot fast-forwarding (full prefix replay)")
 	flag.BoolVar(&o.noconv, "noconverge", false, "disable convergence-gated early termination and the fault-equivalence memo")
+	flag.BoolVar(&o.nocomp, "nocompile", false, "disable the compiled fast tier (run the interpreter between event horizons)")
 	flag.StringVar(&o.journal, "journal", "", "journal directory: run the campaign as a durable sharded job (checkpointed, resumable, multi-process)")
 	flag.BoolVar(&o.resume, "resume", false, "resume the journaled campaign from its last checkpoint (requires -journal)")
 	flag.BoolVar(&o.status, "status", false, "list the campaigns in the -journal directory instead of running one")
@@ -117,7 +119,7 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	target, err := core.NewTargetOpts(o.prog, p, core.TargetOptions{NoConverge: o.noconv})
+	target, err := core.NewTargetOpts(o.prog, p, core.TargetOptions{NoConverge: o.noconv, NoCompile: o.nocomp})
 	if err != nil {
 		return err
 	}
@@ -157,6 +159,7 @@ func runFlip(target *core.Target, win core.WinSize, o options) error {
 		Workers:     o.workers,
 		NoSnapshots: o.nosnap,
 		NoConverge:  o.noconv,
+		NoCompile:   o.nocomp,
 		Service:     o.service(),
 	})
 	if err != nil {
@@ -177,6 +180,7 @@ func runStuckAt(target *core.Target, win core.WinSize, o options) error {
 		Workers:     o.workers,
 		NoSnapshots: o.nosnap,
 		NoConverge:  o.noconv,
+		NoCompile:   o.nocomp,
 		Service:     o.service(),
 	})
 	if err != nil {

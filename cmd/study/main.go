@@ -40,6 +40,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "parallel workers per campaign (0 = GOMAXPROCS)")
 		nosnap      = flag.Bool("nosnap", false, "disable golden-run snapshot fast-forwarding (full prefix replay)")
 		noconverge  = flag.Bool("noconverge", false, "disable convergence-gated early termination and the fault-equivalence memo")
+		nocompile   = flag.Bool("nocompile", false, "disable the compiled fast tier (run the interpreter between event horizons)")
 		journal     = flag.String("journal", "", "journal directory: run campaigns as durable sharded jobs (checkpointed, resumable, multi-process)")
 		resume      = flag.Bool("resume", false, "resume journaled campaigns from their last checkpoints (requires -journal)")
 		out         = flag.String("o", "", "output file (empty = stdout)")
@@ -52,7 +53,7 @@ func main() {
 		n: *n, seed: *seed, progs: *progs, quick: *quick,
 		transitions: *transitions, ablations: *ablations, memfaults: *memfaults,
 		composition: *composition, stuckat: *stuckat, stuckwin: *stuckwin,
-		workers: *workers, nosnap: *nosnap, noconverge: *noconverge,
+		workers: *workers, nosnap: *nosnap, noconverge: *noconverge, nocompile: *nocompile,
 		journal: *journal, resume: *resume,
 		out: *out, csvDir: *csvDir, verbose: *verbose,
 	}); err != nil {
@@ -76,6 +77,7 @@ type params struct {
 	workers     int
 	nosnap      bool
 	noconverge  bool
+	nocompile   bool
 	journal     string
 	resume      bool
 	out         string
@@ -116,6 +118,7 @@ func runTo(w io.Writer, p params) error {
 		Workers:     p.workers,
 		NoSnapshots: p.nosnap,
 		NoConverge:  p.noconverge,
+		NoCompile:   p.nocompile,
 		NoStuckAt:   !p.stuckat,
 		JournalDir:  p.journal,
 		Resume:      p.resume,

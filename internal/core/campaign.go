@@ -88,6 +88,14 @@ type CampaignSpec struct {
 	// differential tests enforce it); the knob exists for that comparison
 	// and for the CI dispatch ablation.
 	NoFusion bool
+	// NoCompile disables the compiled fast tier in every experiment of
+	// this campaign: event-horizon stretches execute through the
+	// token-threaded interpreter instead of the workload's generated
+	// native kernel. Results are bit-identical either way (the compile
+	// differential tests enforce it); the knob exists for that comparison
+	// and for the CI compile ablation (MULTIFLIP_NOCOMPILE disables the
+	// tier process-wide).
+	NoCompile bool
 	// NoConverge disables convergence-gated early termination and the
 	// fault-equivalence memo for this campaign: every experiment runs to
 	// completion even after its state reconverges with the golden run.
@@ -249,6 +257,7 @@ func RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
 		ClaimBatch:  spec.ClaimBatch,
 		Record:      spec.Record,
 		NoFusion:    spec.NoFusion,
+		NoCompile:   spec.NoCompile,
 		NoConverge:  spec.NoConverge,
 		NoAlignTrap: spec.NoAlignTrap,
 		Service:     spec.Service,

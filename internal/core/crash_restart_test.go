@@ -65,12 +65,17 @@ func TestCrashRestartDifferential(t *testing.T) {
 					// resumes wait out DefaultLeaseTTL the same way, just
 					// longer). A live worker losing a lease to the short TTL is
 					// harmless: checkpointing is idempotent.
+					// LeaseGrace is off: every simulated process shares this
+					// test's clock, so the cross-process skew margin would only
+					// slow each steal of a killed round's lease by the default
+					// grace.
 					eng.Service = &core.Service{
-						Dir:       dir,
-						Resume:    true,
-						ShardSize: shardSize,
-						LeaseTTL:  100 * time.Millisecond,
-						WorkerID:  fmt.Sprintf("round-%d", round),
+						Dir:        dir,
+						Resume:     true,
+						ShardSize:  shardSize,
+						LeaseTTL:   100 * time.Millisecond,
+						LeaseGrace: -1,
+						WorkerID:   fmt.Sprintf("round-%d", round),
 					}
 					// Crash rounds: kill the campaign after a random number of
 					// experiment starts. Late rounds run unharmed so the loop

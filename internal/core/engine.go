@@ -140,6 +140,8 @@ type Engine struct {
 	Record bool
 	// NoFusion disables superinstruction execution in every experiment.
 	NoFusion bool
+	// NoCompile disables the compiled fast tier in every experiment.
+	NoCompile bool
 	// NoConverge disables convergence-gated early termination and the
 	// fault-equivalence memo.
 	NoConverge bool
@@ -586,6 +588,7 @@ func (e *Engine) runOne(idx uint64, memo memoTable, trace *vm.GoldenTrace) (Expe
 		MemFlips:    inj.MemFlips,
 		Resume:      inj.Resume,
 		NoFuse:      e.NoFusion,
+		NoCompile:   e.NoCompile,
 		Trace:       trace,
 		MemoCheck:   memoCheck,
 	})

@@ -1,0 +1,114 @@
+package core_test
+
+// Satellite coverage for the durability surface: the fsync opt-in mode
+// must run and resume campaigns bit-identically to the default mode (it
+// only changes when data hits the platter, not what is written), and
+// InspectDir — the engine behind `fi -status` — must treat missing,
+// empty, memo-only and torn journal directories as "no campaigns", never
+// as errors or panics.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"multiflip/internal/core"
+)
+
+func TestSyncModeCampaign(t *testing.T) {
+	tg := target(t, "CRC32")
+	spec := core.CampaignSpec{
+		Target:    tg,
+		Technique: core.InjectOnRead,
+		Config:    core.SingleBit(),
+		N:         24,
+		Seed:      61,
+		Record:    true,
+	}
+	baseline, err := core.RunCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	spec.Service = &core.Service{Dir: dir, Sync: true, ShardSize: 8}
+	synced, err := core.RunCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "synced campaign vs in-memory", &baseline.EngineResult, &synced.EngineResult, false)
+
+	// Resume folds the completed journal instead of re-running.
+	spec.Service.Resume = true
+	resumed, err := core.RunCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "resumed synced campaign", &baseline.EngineResult, &resumed.EngineResult, false)
+
+	infos, err := core.InspectDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("InspectDir found %d campaigns, want 1", len(infos))
+	}
+	if infos[0].Meta.N != spec.N {
+		t.Fatalf("inspected campaign has N=%d, want %d", infos[0].Meta.N, spec.N)
+	}
+	if st := infos[0].Status; st.Done != st.Shards || st.ExperimentsDone != st.ExperimentsTotal {
+		t.Fatalf("completed campaign reports %d/%d shards, %d/%d experiments done",
+			st.Done, st.Shards, st.ExperimentsDone, st.ExperimentsTotal)
+	}
+}
+
+func TestInspectDirEdgeCases(t *testing.T) {
+	t.Run("nonexistent", func(t *testing.T) {
+		infos, err := core.InspectDir(filepath.Join(t.TempDir(), "never-created"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(infos) != 0 {
+			t.Fatalf("nonexistent dir reports %d campaigns", len(infos))
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		infos, err := core.InspectDir(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(infos) != 0 {
+			t.Fatalf("empty dir reports %d campaigns", len(infos))
+		}
+	})
+	t.Run("memo-only", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "memo-00000000deadbeef.mfj"), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		infos, err := core.InspectDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(infos) != 0 {
+			t.Fatalf("memo-only dir reports %d campaigns", len(infos))
+		}
+	})
+	t.Run("torn", func(t *testing.T) {
+		// A campaign file that is pure garbage — e.g. a crash before the
+		// meta line was durable, then further corruption — must be skipped,
+		// not inspected into a panic or an error.
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "campaign-0000000000000bad.mfj"),
+			[]byte("not a journal\x00\xff{"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		infos, err := core.InspectDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(infos) != 0 {
+			t.Fatalf("torn-journal dir reports %d campaigns", len(infos))
+		}
+	})
+}

@@ -37,7 +37,24 @@ const DefaultShardSize = 64
 // DefaultLeaseTTL is the shard lease duration. It must exceed the
 // worst-case wall-clock time of one shard; an expired lease invites a
 // peer to re-run the shard (correct but wasted work).
+//
+// Cross-process contract: a lease's expiry is stamped by the claiming
+// process's clock and judged by the observing process's clock. Within
+// one process the comparison uses Go's monotonic clock and is exact;
+// across processes it is wall-clock arithmetic, so drainers sharing a
+// journal directory must keep their clocks within the lease grace
+// margin (DefaultLeaseGrace, or Service.LeaseGrace) of each other.
+// Clock skew never breaks correctness — checkpoints are idempotent and
+// shard results deterministic — it only costs duplicate work (a lease
+// stolen early) or idle waiting (a lease honored late).
 const DefaultLeaseTTL = 30 * time.Second
+
+// DefaultLeaseGrace is the slack added to lease expiries stamped by
+// other processes before a lease is considered expired, absorbing
+// wall-clock skew between drainers. Larger values delay legitimate
+// steals from crashed peers by the same margin; smaller values risk
+// premature steals (duplicate work) when clocks disagree.
+const DefaultLeaseGrace = 2 * time.Second
 
 // CampaignMeta identifies a journaled campaign. The fingerprint is
 // content-addressed over the target's behaviour (golden output, dynamic
@@ -253,14 +270,23 @@ type journalState struct {
 	bound  bool
 	shards []shardState
 	now    func() time.Time
+	// grace is the slack granted to lease expiries absorbed from other
+	// processes (wall-clock timestamps with no monotonic reading): 0
+	// selects DefaultLeaseGrace, negative disables the margin. Leases
+	// applied locally carry Go's monotonic clock and get no grace.
+	grace time.Duration
 }
 
 // shardState tracks one shard: its accepted checkpoint (nil while
-// pending) and the latest lease.
+// pending) and the latest lease. leaseLocal marks an expiry stamped by
+// this process — a monotonic-clock time.Time that compares exactly —
+// as opposed to one restored from a journal record, which is wall-clock
+// only and is judged with the skew grace margin.
 type shardState struct {
 	res         *ShardResult
 	leaseWorker string
 	leaseExp    time.Time
+	leaseLocal  bool
 }
 
 // init installs or validates the campaign identity.
@@ -281,8 +307,12 @@ func (st *journalState) init(meta CampaignMeta) error {
 	return nil
 }
 
-// applyLease records worker's lease on shard until exp.
-func (st *journalState) applyLease(shard int, worker string, exp time.Time) {
+// applyLease records worker's lease on shard until exp. local marks an
+// expiry stamped by this process's clock (monotonic, exact); an absorbed
+// record that echoes the lease this process already holds — same worker,
+// same millisecond — is dropped so re-reading our own journal writes
+// never downgrades a monotonic expiry to a wall-clock one.
+func (st *journalState) applyLease(shard int, worker string, exp time.Time, local bool) {
 	if !st.bound || shard < 0 || shard >= len(st.shards) {
 		return
 	}
@@ -290,8 +320,33 @@ func (st *journalState) applyLease(shard int, worker string, exp time.Time) {
 	if sh.res != nil {
 		return
 	}
+	if !local && sh.leaseLocal && worker == sh.leaseWorker &&
+		exp.UnixMilli() == sh.leaseExp.UnixMilli() {
+		return
+	}
 	sh.leaseWorker = worker
 	sh.leaseExp = exp
+	sh.leaseLocal = local
+}
+
+// leaseLive reports whether the shard's lease holds at now: exact for
+// leases this process stamped, stretched by the skew grace margin for
+// leases restored from journal records.
+func (st *journalState) leaseLive(sh *shardState, now time.Time) bool {
+	if sh.leaseWorker == "" {
+		return false
+	}
+	exp := sh.leaseExp
+	if !sh.leaseLocal {
+		grace := st.grace
+		if grace == 0 {
+			grace = DefaultLeaseGrace
+		}
+		if grace > 0 {
+			exp = exp.Add(grace)
+		}
+	}
+	return exp.After(now)
 }
 
 // applyDone accepts a shard checkpoint unless the shard already has one
@@ -334,7 +389,7 @@ func (st *journalState) findClaim() (int, ClaimState) {
 			continue
 		}
 		allDone = false
-		if sh.leaseWorker == "" || !sh.leaseExp.After(now) {
+		if !st.leaseLive(sh, now) {
 			return i, ClaimOK
 		}
 	}
@@ -372,7 +427,7 @@ func (st *journalState) status() CampaignStatus {
 			s.Tally.Merge(&sh.res.Tally)
 			s.Converged += sh.res.Converged
 			s.MemoHits += sh.res.MemoHits
-		case sh.leaseWorker != "" && sh.leaseExp.After(now):
+		case st.leaseLive(sh, now):
 			s.Leased++
 		default:
 			s.Pending++
@@ -410,7 +465,7 @@ func (j *MemJournal) Claim(worker string, ttl time.Duration) (int, ClaimState, e
 	defer j.mu.Unlock()
 	shard, state := j.st.findClaim()
 	if state == ClaimOK {
-		j.st.applyLease(shard, worker, j.st.now().Add(ttl))
+		j.st.applyLease(shard, worker, j.st.now().Add(ttl), true)
 	}
 	return shard, state, nil
 }

@@ -9,9 +9,15 @@ package core
 // record), "lease" (shard, worker, expiry) and "done" (shard
 // checkpoint). Each record is written with a single O_APPEND write, so
 // concurrent worker processes sharing the file interleave whole records
-// on any POSIX filesystem. There is no compaction and no fsync: a crash
-// can lose the tail of the log, never the middle, and whatever a torn
-// tail loses is re-executed deterministically on resume.
+// on any POSIX filesystem. There is no compaction and, by default, no
+// fsync: a crash can lose the tail of the log, never the middle, and
+// whatever a torn tail loses is re-executed deterministically on resume.
+// FileJournalOptions.Sync upgrades durability for machine-level crashes
+// (power loss): checkpoint and meta records are fsynced after their
+// append, and the parent directory is fsynced when the journal file is
+// created, so an acknowledged checkpoint survives anything short of
+// media failure. Lease records are advisory and are deliberately never
+// synced — losing one costs at most a duplicate shard run.
 //
 // The loader is tolerant by construction: a line whose checksum or JSON
 // does not parse is skipped (a torn write from a crashed or concurrent
@@ -97,23 +103,73 @@ type FileJournal struct {
 	// trailing partial line until the rest of it lands.
 	readOff int64
 	pending []byte
+	sync    bool
 	st      journalState
+}
+
+// FileJournalOptions configures OpenFileJournalOpts.
+type FileJournalOptions struct {
+	// Sync fsyncs the journal after every checkpoint or meta append and
+	// fsyncs the parent directory when the journal file is created, so
+	// acknowledged checkpoints survive machine-level crashes (power
+	// loss), not just process death. Off by default: a lost unsynced
+	// tail only re-runs deterministic shards on resume.
+	Sync bool
+	// LeaseGrace is the wall-clock skew margin granted to lease expiries
+	// written by other processes (0 = DefaultLeaseGrace, negative =
+	// none). See DefaultLeaseTTL for the cross-process clock contract.
+	LeaseGrace time.Duration
 }
 
 // OpenFileJournal opens (creating if needed) a journal file and absorbs
 // its records. Opening never fails on corrupt content — bad records are
 // skipped — only on I/O errors.
 func OpenFileJournal(path string) (*FileJournal, error) {
+	return OpenFileJournalOpts(path, FileJournalOptions{})
+}
+
+// OpenFileJournalOpts is OpenFileJournal with explicit durability and
+// clock-skew options.
+func OpenFileJournalOpts(path string, opts FileJournalOptions) (*FileJournal, error) {
+	_, statErr := os.Stat(path)
+	created := os.IsNotExist(statErr)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("core: open journal: %w", err)
 	}
-	j := &FileJournal{f: f, path: path, st: journalState{now: time.Now}}
+	if opts.Sync && created {
+		// Make the new directory entry itself durable: without this a
+		// power loss can forget the file existed even though its first
+		// records were fsynced.
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	j := &FileJournal{f: f, path: path, sync: opts.Sync,
+		st: journalState{now: time.Now, grace: opts.LeaseGrace}}
 	if err := j.absorbLocked(); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return j, nil
+}
+
+// syncDir fsyncs a directory, making its entries durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("core: sync journal dir: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("core: sync journal dir: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("core: sync journal dir: %w", cerr)
+	}
+	return nil
 }
 
 // Path returns the journal file's path.
@@ -176,7 +232,11 @@ func (j *FileJournal) applyLine(line []byte) {
 			_ = j.st.init(*rec.Meta)
 		}
 	case "lease":
-		j.st.applyLease(rec.Shard, rec.Worker, time.UnixMilli(rec.Exp))
+		// Absorbed expiries are wall-clock timestamps from another
+		// process's clock (or re-reads of our own appends, which
+		// applyLease recognizes and ignores); the lease-liveness check
+		// grants them the skew grace margin.
+		j.st.applyLease(rec.Shard, rec.Worker, time.UnixMilli(rec.Exp), false)
 	case "done":
 		if rec.Res != nil {
 			j.st.applyDone(rec.Res)
@@ -211,7 +271,22 @@ func (j *FileJournal) Bind(meta CampaignMeta) error {
 		return err
 	}
 	if !hadMeta {
-		return j.appendLocked(&journalRecord{T: "meta", Meta: &meta})
+		if err := j.appendLocked(&journalRecord{T: "meta", Meta: &meta}); err != nil {
+			return err
+		}
+		return j.syncLocked()
+	}
+	return nil
+}
+
+// syncLocked fsyncs the journal file when the sync mode is on. Callers
+// hold j.mu.
+func (j *FileJournal) syncLocked() error {
+	if !j.sync {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("core: sync journal: %w", err)
 	}
 	return nil
 }
@@ -228,11 +303,14 @@ func (j *FileJournal) Claim(worker string, ttl time.Duration) (int, ClaimState, 
 	if state != ClaimOK {
 		return shard, state, nil
 	}
+	// The lease record is deliberately not fsynced even in sync mode:
+	// leases are advisory, and losing one to a crash only lets a peer
+	// start the shard sooner.
 	exp := j.st.now().Add(ttl)
 	if err := j.appendLocked(&journalRecord{T: "lease", Shard: shard, Worker: worker, Exp: exp.UnixMilli()}); err != nil {
 		return 0, ClaimWait, err
 	}
-	j.st.applyLease(shard, worker, exp)
+	j.st.applyLease(shard, worker, exp, true)
 	return shard, ClaimOK, nil
 }
 
@@ -252,6 +330,9 @@ func (j *FileJournal) Checkpoint(res ShardResult) error {
 		return nil
 	}
 	if err := j.appendLocked(&journalRecord{T: "done", Shard: res.Shard, Res: &res}); err != nil {
+		return err
+	}
+	if err := j.syncLocked(); err != nil {
 		return err
 	}
 	j.st.applyDone(&res)
@@ -297,8 +378,12 @@ type JournalInfo struct {
 }
 
 // InspectDir scans a journal directory and reports every campaign in it,
-// sorted by path. Journals whose meta record is missing or torn are
-// skipped (there is nothing to report yet).
+// sorted by path. It degrades per entry rather than failing the scan:
+// journals whose meta record is missing or torn are skipped (there is
+// nothing to report yet), as are entries that cannot be opened at all (a
+// permission problem, or a stray directory matching the name pattern). A
+// nonexistent or empty directory — or one holding only memo-*.mfj files —
+// reports no campaigns and no error.
 func InspectDir(dir string) ([]JournalInfo, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "campaign-*.mfj"))
 	if err != nil {
@@ -309,7 +394,7 @@ func InspectDir(dir string) ([]JournalInfo, error) {
 	for _, p := range paths {
 		j, err := OpenFileJournal(p)
 		if err != nil {
-			return nil, err
+			continue
 		}
 		st, serr := j.Status()
 		meta := j.Meta()

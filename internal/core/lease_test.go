@@ -1,0 +1,113 @@
+package core
+
+// Lease-clock semantics (internal test: the seams are the unexported
+// journalState and its clock). The TTL contract — documented on
+// DefaultLeaseTTL — distinguishes two kinds of lease expiry:
+//
+//   - stamped by this process: a time.Time carrying Go's monotonic clock,
+//     immune to wall-clock steps, compared exactly;
+//   - absorbed from a journal record: a wall-clock UnixMilli written by
+//     some other process, compared with a configurable skew grace.
+//
+// These tests pin the boundary conditions of both, plus the own-echo
+// suppression that keeps re-reading our own appended lease records from
+// downgrading a monotonic expiry to a wall-clock one.
+
+import (
+	"testing"
+	"time"
+)
+
+func leaseState(t *testing.T, grace time.Duration) *journalState {
+	t.Helper()
+	st := &journalState{now: time.Now, grace: grace}
+	if err := st.init(CampaignMeta{Model: "t", N: 8, ShardSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestLeaseLocalExpiresExactly(t *testing.T) {
+	st := leaseState(t, 0)
+	t0 := time.Now()
+	exp := t0.Add(100 * time.Millisecond)
+	st.applyLease(0, "w1", exp, true)
+	sh := &st.shards[0]
+	if !st.leaseLive(sh, t0) {
+		t.Fatal("fresh local lease not live")
+	}
+	if !st.leaseLive(sh, exp.Add(-time.Millisecond)) {
+		t.Fatal("local lease dead before its expiry")
+	}
+	// Local leases get no grace, even with the default margin in force:
+	// at and after exp the shard is stealable.
+	if st.leaseLive(sh, exp) {
+		t.Fatal("local lease live at its exact expiry")
+	}
+	if st.leaseLive(sh, exp.Add(DefaultLeaseGrace/2)) {
+		t.Fatal("local lease granted the absorbed-lease grace")
+	}
+}
+
+func TestLeaseAbsorbedGetsGrace(t *testing.T) {
+	t0 := time.Now()
+	exp := t0.Add(100 * time.Millisecond)
+	for _, tt := range []struct {
+		name  string
+		grace time.Duration
+		want  time.Duration // effective margin past exp
+	}{
+		{"default", 0, DefaultLeaseGrace},
+		{"custom", 500 * time.Millisecond, 500 * time.Millisecond},
+		{"disabled", -1, 0},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			st := leaseState(t, tt.grace)
+			st.applyLease(1, "w2", exp, false)
+			sh := &st.shards[1]
+			if !st.leaseLive(sh, exp.Add(tt.want-time.Millisecond)) {
+				t.Fatal("absorbed lease dead inside its grace margin")
+			}
+			if st.leaseLive(sh, exp.Add(tt.want)) {
+				t.Fatal("absorbed lease live past its grace margin")
+			}
+		})
+	}
+}
+
+func TestLeaseOwnEchoSuppression(t *testing.T) {
+	st := leaseState(t, 0)
+	exp := time.Now().Add(DefaultLeaseTTL)
+	st.applyLease(0, "w1", exp, true)
+	// Absorbing our own appended record — same worker, same millisecond,
+	// but a wall-clock round trip through UnixMilli — must not downgrade
+	// the monotonic expiry.
+	st.applyLease(0, "w1", time.UnixMilli(exp.UnixMilli()), false)
+	if !st.shards[0].leaseLocal {
+		t.Fatal("own lease echo downgraded a local lease to wall-clock")
+	}
+	// A different worker's record is a real steal and must replace it.
+	st.applyLease(0, "w2", time.UnixMilli(exp.UnixMilli()), false)
+	if st.shards[0].leaseLocal || st.shards[0].leaseWorker != "w2" {
+		t.Fatal("another worker's lease record did not replace the local lease")
+	}
+	// As must our own record with a different (renewed) expiry.
+	st2 := leaseState(t, 0)
+	st2.applyLease(0, "w1", exp, true)
+	st2.applyLease(0, "w1", time.UnixMilli(exp.Add(time.Second).UnixMilli()), false)
+	if st2.shards[0].leaseLocal {
+		t.Fatal("a renewed lease record did not supersede the stale local lease")
+	}
+}
+
+func TestLeaseIgnoredOnCheckpointedShard(t *testing.T) {
+	st := leaseState(t, 0)
+	st.shards[1].res = &ShardResult{Shard: 1}
+	st.applyLease(1, "w9", time.Now().Add(time.Hour), true)
+	if st.shards[1].leaseWorker != "" {
+		t.Fatal("lease recorded on a checkpointed shard")
+	}
+	if st.leaseLive(&st.shards[1], time.Now()) {
+		t.Fatal("checkpointed shard reports a live lease")
+	}
+}

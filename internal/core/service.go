@@ -61,6 +61,18 @@ type Service struct {
 	ShardSize int
 	// LeaseTTL is the shard lease duration (0 = DefaultLeaseTTL).
 	LeaseTTL time.Duration
+	// LeaseGrace is the wall-clock skew margin granted to shard leases
+	// stamped by other processes before they are considered expired
+	// (0 = DefaultLeaseGrace, negative = none). See DefaultLeaseTTL for
+	// the cross-process clock contract.
+	LeaseGrace time.Duration
+	// Sync fsyncs the campaign journal after every checkpoint and meta
+	// append, and fsyncs the directory when a journal file is created,
+	// so acknowledged checkpoints survive machine-level crashes (power
+	// loss). Off by default: without it a crash can lose the unsynced
+	// log tail, which deterministic shard re-execution repairs on the
+	// next resume at the cost of duplicate work.
+	Sync bool
 }
 
 // active reports whether the service routes campaigns through a journal.
@@ -84,7 +96,7 @@ func (s *Service) journalFor(e *Engine) (Journal, bool, error) {
 			return nil, false, fmt.Errorf("core: reset journal: %w", err)
 		}
 	}
-	j, err := OpenFileJournal(path)
+	j, err := OpenFileJournalOpts(path, FileJournalOptions{Sync: s.Sync, LeaseGrace: s.LeaseGrace})
 	if err != nil {
 		return nil, false, err
 	}

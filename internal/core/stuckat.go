@@ -51,6 +51,8 @@ type StuckAtSpec struct {
 	NoSnapshots bool
 	// NoFusion disables superinstruction execution in every experiment.
 	NoFusion bool
+	// NoCompile disables the compiled fast tier in every experiment.
+	NoCompile bool
 	// NoConverge disables convergence-gated early termination and the
 	// fault-equivalence memo.
 	NoConverge bool
@@ -180,6 +182,7 @@ func RunStuckAt(spec StuckAtSpec) (*StuckAtResult, error) {
 		Workers:    spec.Workers,
 		Record:     spec.Record,
 		NoFusion:   spec.NoFusion,
+		NoCompile:  spec.NoCompile,
 		NoConverge: spec.NoConverge,
 		Service:    spec.Service,
 	}).Run()

@@ -75,6 +75,10 @@ type TargetOptions struct {
 	// is bit-identical either way; the knob supports the fusion
 	// differential tests.
 	NoFusion bool
+	// NoCompile profiles the target with the compiled fast tier disabled.
+	// The profile is bit-identical either way; the knob supports the
+	// compile differential tests.
+	NoCompile bool
 	// NoConverge skips recording the golden state-hash trace, so every
 	// campaign on this target runs its experiments to completion. Results
 	// are bit-identical either way (the convergence differential tests
@@ -90,7 +94,7 @@ func NewTarget(name string, p *ir.Program) (*Target, error) {
 
 // NewTargetOpts is NewTarget with explicit preparation options.
 func NewTargetOpts(name string, p *ir.Program, opts TargetOptions) (*Target, error) {
-	vopts := vm.Options{NoFuse: opts.NoFusion}
+	vopts := vm.Options{NoFuse: opts.NoFusion, NoCompile: opts.NoCompile}
 	if !opts.NoSnapshots {
 		vopts.Checkpoint = opts.SnapshotInterval
 		if vopts.Checkpoint == 0 {

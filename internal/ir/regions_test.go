@@ -1,0 +1,166 @@
+package ir
+
+import (
+	"sort"
+	"testing"
+)
+
+// regionProg builds a two-function program with branches, a call and an
+// abort arm — enough control flow to exercise every leader rule.
+func regionProg(t *testing.T) *Program {
+	t.Helper()
+	mb := NewModule("regions")
+	base := mb.GlobalU64s([]uint64{3, 1, 4, 1, 5})
+
+	helper := mb.Func("helper", 1)
+	v := helper.BinW(W64, OpMul, helper.Arg(0), C(7))
+	helper.Ret(v)
+
+	f := mb.Func("main", 0)
+	acc := f.Let(C(0))
+	f.For(C(0), C(5), func(i Reg) {
+		w := f.Load64(f.Idx(C(base), i, 8), 0)
+		f.IfElse(f.Ult(w, C(4)),
+			func() { f.Mov(acc, f.BinW(W64, OpAdd, acc, w)) },
+			func() { f.Mov(acc, f.BinW(W64, OpXor, acc, f.Call("helper", w))) },
+		)
+	})
+	f.If(f.Eq(acc, C(0xdead)), func() { f.Abort() })
+	f.Out64(acc)
+	f.RetVoid()
+
+	p, err := mb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestBlockLeaders checks the leader-set properties the kernel generator
+// relies on: pc 0 leads, every branch target leads, and every pc after a
+// block terminator (Br, CondBr, Call, Ret, Abort) leads — so a generated
+// kernel only ever enters a block at its head.
+func TestBlockLeaders(t *testing.T) {
+	p := regionProg(t)
+	for fi := range p.Funcs {
+		f := p.Funcs[fi]
+		leaders := BlockLeaders(f)
+		if !sort.IntsAreSorted(leaders) {
+			t.Fatalf("func %d: leaders not sorted: %v", fi, leaders)
+		}
+		isLeader := make(map[int]bool, len(leaders))
+		for _, l := range leaders {
+			if l < 0 || l >= len(f.Code) {
+				t.Fatalf("func %d: leader %d out of range [0,%d)", fi, l, len(f.Code))
+			}
+			if isLeader[l] {
+				t.Fatalf("func %d: duplicate leader %d", fi, l)
+			}
+			isLeader[l] = true
+		}
+		if len(f.Code) > 0 && !isLeader[0] {
+			t.Fatalf("func %d: pc 0 is not a leader", fi)
+		}
+		for pc := range f.Code {
+			in := &f.Code[pc]
+			switch in.Op {
+			case OpBr, OpCondBr:
+				if !isLeader[int(in.Off)] {
+					t.Errorf("func %d: branch target %d of pc %d is not a leader", fi, in.Off, pc)
+				}
+				fallthrough
+			case OpCall, OpRet, OpAbort:
+				if pc+1 < len(f.Code) && !isLeader[pc+1] {
+					t.Errorf("func %d: pc %d after terminator at %d is not a leader", fi, pc+1, pc)
+				}
+			}
+		}
+	}
+}
+
+// TestFingerprintStable pins the properties the kernel registry depends
+// on: the fingerprint is deterministic, unchanged by validation (which
+// only populates derived caches) and by function renames, and changed by
+// any semantic mutation — opcode, immediate, operand kind, branch offset
+// or global image.
+func TestFingerprintStable(t *testing.T) {
+	p := regionProg(t)
+	fp := p.Fingerprint()
+	if fp2 := regionProg(t).Fingerprint(); fp2 != fp {
+		t.Fatalf("fingerprint not deterministic: %#x vs %#x", fp, fp2)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Fingerprint(); got != fp {
+		t.Fatalf("fingerprint changed across Validate: %#x vs %#x", got, fp)
+	}
+	p.Funcs[0].Name = "renamed"
+	if got := p.Fingerprint(); got != fp {
+		t.Fatalf("fingerprint changed across a function rename: %#x vs %#x", got, fp)
+	}
+
+	mutations := []struct {
+		name string
+		mut  func(*Program)
+	}{
+		{"opcode", func(q *Program) {
+			for fi := range q.Funcs {
+				for pc := range q.Funcs[fi].Code {
+					in := &q.Funcs[fi].Code[pc]
+					if in.Op == OpAdd {
+						in.Op = OpSub
+						return
+					}
+				}
+			}
+			t.Fatal("no OpAdd to mutate")
+		}},
+		{"immediate", func(q *Program) {
+			for fi := range q.Funcs {
+				for pc := range q.Funcs[fi].Code {
+					in := &q.Funcs[fi].Code[pc]
+					if in.B.IsImm() {
+						in.B = C(in.B.Imm() + 1)
+						return
+					}
+				}
+			}
+			t.Fatal("no immediate operand to mutate")
+		}},
+		{"operand kind", func(q *Program) {
+			for fi := range q.Funcs {
+				for pc := range q.Funcs[fi].Code {
+					in := &q.Funcs[fi].Code[pc]
+					if in.B.IsImm() {
+						in.B = R(Reg(in.B.Imm()) % 4)
+						return
+					}
+				}
+			}
+			t.Fatal("no immediate operand to mutate")
+		}},
+		{"branch offset", func(q *Program) {
+			for fi := range q.Funcs {
+				for pc := range q.Funcs[fi].Code {
+					in := &q.Funcs[fi].Code[pc]
+					if in.Op == OpBr {
+						in.Off++
+						return
+					}
+				}
+			}
+			t.Fatal("no OpBr to mutate")
+		}},
+		{"global image", func(q *Program) {
+			q.Globals[0] ^= 1
+		}},
+	}
+	for _, m := range mutations {
+		q := regionProg(t)
+		m.mut(q)
+		if q.Fingerprint() == fp {
+			t.Errorf("%s mutation left the fingerprint unchanged", m.name)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package memfault_test
+
+// The memory-fault leg of the compiled-tier differential suite: campaigns
+// executed on the VM's generated native kernels must be bit-identical to
+// NoCompile campaigns through the interpreter — per-experiment outcomes,
+// tallies and (with Workers=1) the early-exit counters alike. The
+// register and stuck-at legs live in internal/core, the VM-level suite in
+// internal/vm.
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"multiflip/internal/core"
+	"multiflip/internal/memfault"
+	"multiflip/internal/prog"
+	"multiflip/internal/vm"
+)
+
+func TestMemFaultCompileDifferential(t *testing.T) {
+	for _, name := range []string{"CRC32", "sha", "histo", "qsort"} {
+		bench, err := prog.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := bench.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if os.Getenv("MULTIFLIP_NOCOMPILE") == "" && !vm.Compiled(p) {
+			t.Fatalf("%s: no compiled kernel engages; the differential below would compare the interpreter against itself (re-run go generate ./...)", name)
+		}
+		target, err := core.NewTarget(name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := core.NewTargetOpts(name, p, core.TargetOptions{NoCompile: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bits := range []int{1, 3, 8} {
+			spec := memfault.Spec{
+				Target:  target,
+				Bits:    bits,
+				N:       50,
+				Seed:    23,
+				Workers: 1,
+				Record:  true,
+			}
+			fast, err := memfault.Run(spec)
+			if err != nil {
+				t.Fatalf("%s bits=%d: %v", name, bits, err)
+			}
+			spec.Target = off
+			spec.NoCompile = true
+			slow, err := memfault.Run(spec)
+			if err != nil {
+				t.Fatalf("%s bits=%d (nocompile): %v", name, bits, err)
+			}
+			if !reflect.DeepEqual(fast.Outcomes, slow.Outcomes) {
+				t.Errorf("%s bits=%d: outcomes diverge between compiled and nocompile campaigns", name, bits)
+			}
+			if fast.Counts != slow.Counts {
+				t.Errorf("%s bits=%d: tallies diverge between compiled and nocompile campaigns", name, bits)
+			}
+			if fast.Converged != slow.Converged || fast.MemoHits != slow.MemoHits {
+				t.Errorf("%s bits=%d: early-exit counters diverge between compiled (%d/%d) and nocompile (%d/%d) campaigns",
+					name, bits, fast.Converged, fast.MemoHits, slow.Converged, slow.MemoHits)
+			}
+		}
+	}
+}

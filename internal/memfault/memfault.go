@@ -51,6 +51,12 @@ type Spec struct {
 	// Results are bit-identical either way (the fusion differential tests
 	// enforce it).
 	NoFusion bool
+	// NoCompile disables the compiled fast tier in every experiment:
+	// event-horizon stretches execute through the token-threaded
+	// interpreter instead of the workload's generated native kernel.
+	// Results are bit-identical either way (the compile differential
+	// tests enforce it).
+	NoCompile bool
 	// NoConverge disables convergence-gated early termination and the
 	// fault-equivalence memo: every experiment runs to completion even
 	// after its corrupted word is overwritten and the state reconverges
@@ -164,6 +170,7 @@ func Run(spec Spec) (*Result, error) {
 		Workers:    spec.Workers,
 		Record:     spec.Record,
 		NoFusion:   spec.NoFusion,
+		NoCompile:  spec.NoCompile,
 		NoConverge: spec.NoConverge,
 		Service:    spec.Service,
 	}).Run()

@@ -1,0 +1,34 @@
+package prog
+
+import "testing"
+
+// TestCompiledKernelManifest is the generated-code drift check: every
+// suite workload must have an entry in the committed CompiledKernels
+// manifest, and the fingerprint of the program it builds today must match
+// the fingerprint its compiled VM kernel was generated from. The VM's
+// registry gate makes a mismatch silent (it just falls back to the
+// interpreter); this test makes it loud. CI enforces the same property
+// for the generated sources via `go generate ./... && git diff
+// --exit-code`.
+func TestCompiledKernelManifest(t *testing.T) {
+	benches := append(All(), Extras()...)
+	if len(CompiledKernels) != len(benches) {
+		t.Errorf("manifest has %d entries, suite has %d workloads; re-run go generate ./...",
+			len(CompiledKernels), len(benches))
+	}
+	for _, b := range benches {
+		want, ok := CompiledKernels[b.Name]
+		if !ok {
+			t.Errorf("%s: no compiled-kernel manifest entry; re-run go generate ./...", b.Name)
+			continue
+		}
+		p, err := b.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if got := p.Fingerprint(); got != want {
+			t.Errorf("%s: program fingerprint %#016x != generated-kernel fingerprint %#016x; the IR changed after the kernels were generated — re-run go generate ./...",
+				b.Name, got, want)
+		}
+	}
+}

@@ -50,6 +50,12 @@ type Options struct {
 	// are bit-identical either way; the knob supports A/B timing and the
 	// CI convergence ablation.
 	NoConverge bool
+	// NoCompile disables the compiled fast tier: event-horizon stretches
+	// execute through the token-threaded interpreter instead of the
+	// workloads' generated native kernels. Results are bit-identical
+	// either way; the knob supports A/B timing and the CI compile
+	// ablation.
+	NoCompile bool
 	// JournalDir, when set, runs every campaign as a durable journaled
 	// job under this directory: campaigns checkpoint per shard, a killed
 	// study resumes from its last checkpoints (with Resume), and
@@ -178,6 +184,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 	target, err := core.NewTargetOpts(name, p, core.TargetOptions{
 		NoSnapshots: opts.NoSnapshots,
 		NoConverge:  opts.NoConverge,
+		NoCompile:   opts.NoCompile,
 	})
 	if err != nil {
 		return nil, err
@@ -202,6 +209,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 			Record:      true,
 			NoSnapshots: opts.NoSnapshots,
 			NoConverge:  opts.NoConverge,
+			NoCompile:   opts.NoCompile,
 			Service:     svc,
 		})
 		if err != nil {
@@ -221,6 +229,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 					Workers:     opts.Workers,
 					NoSnapshots: opts.NoSnapshots,
 					NoConverge:  opts.NoConverge,
+					NoCompile:   opts.NoCompile,
 					Service:     svc,
 				})
 				if err != nil {
@@ -245,6 +254,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 		Workers:     opts.Workers,
 		NoSnapshots: opts.NoSnapshots,
 		NoConverge:  opts.NoConverge,
+		NoCompile:   opts.NoCompile,
 		Service:     svc,
 	})
 	if err != nil {

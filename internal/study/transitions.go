@@ -71,6 +71,7 @@ func (s *Study) runTransitions() (map[string]map[core.Technique]*TransitionResul
 				Pins:        pins,
 				NoSnapshots: s.Opts.NoSnapshots,
 				NoConverge:  s.Opts.NoConverge,
+				NoCompile:   s.Opts.NoCompile,
 				Service:     s.Opts.service(),
 			})
 			if err != nil {

@@ -1,0 +1,223 @@
+package vm
+
+// The compiled-tier differential suite: for every workload in the suite
+// (the 15 paper programs plus the extras), runs with the generated native
+// kernels must be bit-identical to NoCompile runs through the
+// token-threaded interpreter — outputs, counters, snapshots, golden trace
+// fingerprints, injection behaviour and convergence alike. The companion
+// campaign-level suite lives in internal/core and internal/memfault.
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"multiflip/internal/ir"
+	"multiflip/internal/prog"
+	"multiflip/internal/xrand"
+)
+
+var (
+	suiteOnce  sync.Once
+	suiteProgs []*ir.Program
+)
+
+// suitePrograms builds every suite workload (All + Extras) once per test
+// binary, in registry order.
+func suitePrograms() []*ir.Program {
+	suiteOnce.Do(func() {
+		for _, b := range append(prog.All(), prog.Extras()...) {
+			p, err := b.Build()
+			if err != nil {
+				panic(fmt.Sprintf("build %s: %v", b.Name, err))
+			}
+			suiteProgs = append(suiteProgs, p)
+		}
+	})
+	return suiteProgs
+}
+
+// TestCompiledKernelsEngage pins the suite's non-vacuity: unless the
+// process-wide kill switch is set, every suite workload must actually
+// run on its generated kernel — otherwise the differential tests below
+// compare the interpreter against itself.
+func TestCompiledKernelsEngage(t *testing.T) {
+	if !compileEnabled {
+		t.Skip("MULTIFLIP_NOCOMPILE is set")
+	}
+	for _, p := range suitePrograms() {
+		if !Compiled(p) {
+			t.Errorf("%s: no compiled kernel engages (stale fingerprint or missing registration; re-run go generate ./...)", p.Name)
+		}
+	}
+}
+
+// TestCompiledDifferential is the tier's core contract, program by
+// program: fault-free runs, checkpointing runs (including snapshot
+// placement and golden-trace fingerprints), cross-tier snapshot resume,
+// register injection plans (both techniques), stuck-at holds, scheduled
+// memory flips and convergence-gated runs all match the interpreter bit
+// for bit.
+func TestCompiledDifferential(t *testing.T) {
+	for _, p := range suitePrograms() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			base := Options{CountRoles: true}
+			noComp := func(o Options) Options { o.NoCompile = true; return o }
+
+			straight, err := Run(p, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			interp, err := Run(p, noComp(base))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "fault-free compiled vs interpreted", straight, interp)
+
+			// Checkpointing: snapshot instants and the golden state-hash
+			// trace are part of the observable contract — campaigns resume
+			// and converge against them.
+			ck := Options{Checkpoint: 64, MaxSnapshots: 32, RecordTrace: true}
+			fast, err := Run(p, ck)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := Run(p, noComp(ck))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "checkpointing compiled vs interpreted", fast, slow)
+			if len(fast.Snapshots) != len(slow.Snapshots) {
+				t.Fatalf("snapshot counts diverge: %d compiled vs %d interpreted",
+					len(fast.Snapshots), len(slow.Snapshots))
+			}
+			for i := range fast.Snapshots {
+				if fast.Snapshots[i].Dyn != slow.Snapshots[i].Dyn {
+					t.Fatalf("snapshot %d instant diverges: %d vs %d",
+						i, fast.Snapshots[i].Dyn, slow.Snapshots[i].Dyn)
+				}
+			}
+			if fast.Trace == nil || slow.Trace == nil {
+				t.Fatal("checkpointing run recorded no trace")
+			}
+			if !reflect.DeepEqual(fast.Trace.entries, slow.Trace.entries) {
+				t.Fatal("golden trace fingerprints diverge between tiers")
+			}
+
+			// Cross-tier resume: a snapshot taken by one tier replays
+			// identically under the other.
+			if len(fast.Snapshots) > 0 {
+				mid := fast.Snapshots[len(fast.Snapshots)/2]
+				res, err := Run(p, noComp(Options{Resume: mid}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				crossWant, err := Run(p, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResult(t, "interpreted resume from compiled snapshot", res, crossWant)
+				midSlow := slow.Snapshots[len(slow.Snapshots)/2]
+				res, err = Run(p, Options{Resume: midSlow})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResult(t, "compiled resume from interpreted snapshot", res, crossWant)
+			}
+
+			// Injection plans: both techniques, multi-flip, with and without
+			// the golden trace (convergence must fire identically).
+			hang := Options{MaxDyn: 4*straight.Dyn + 1000, MaxOutput: 4*len(straight.Output) + 4096}
+			for i, onWrite := range []bool{false, true} {
+				mkPlan := func() *Plan {
+					return &Plan{
+						OnWrite:    onWrite,
+						FirstCand:  uint64(7 + 131*i),
+						MaxFlips:   3,
+						PinnedBit:  -1,
+						NextWindow: func(*xrand.Rand) uint64 { return 9 },
+						Rng:        xrand.ForExperiment(99, uint64(i)),
+					}
+				}
+				po := hang
+				po.Plan = mkPlan()
+				a, err := Run(p, po)
+				if err != nil {
+					t.Fatal(err)
+				}
+				po = noComp(hang)
+				po.Plan = mkPlan()
+				b, err := Run(p, po)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResult(t, fmt.Sprintf("plan onWrite=%v compiled vs interpreted", onWrite), a, b)
+
+				po = hang
+				po.Plan = mkPlan()
+				po.Trace = fast.Trace
+				ac, err := Run(p, po)
+				if err != nil {
+					t.Fatal(err)
+				}
+				po = noComp(hang)
+				po.Plan = mkPlan()
+				po.Trace = slow.Trace
+				bc, err := Run(p, po)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResult(t, fmt.Sprintf("plan+trace onWrite=%v compiled vs interpreted", onWrite), ac, bc)
+				if ac.Converged != bc.Converged {
+					t.Fatalf("plan onWrite=%v: convergence diverges: %v vs %v", onWrite, ac.Converged, bc.Converged)
+				}
+			}
+
+			// Stuck-at hold.
+			mkStuck := func() *Plan {
+				return &Plan{
+					Stuck:      true,
+					StuckHigh:  true,
+					HoldWindow: 120,
+					FirstCand:  41,
+					MaxFlips:   1,
+					PinnedBit:  -1,
+					Rng:        xrand.ForExperiment(7, 3),
+				}
+			}
+			po := hang
+			po.Plan = mkStuck()
+			sa, err := Run(p, po)
+			if err != nil {
+				t.Fatal(err)
+			}
+			po = noComp(hang)
+			po.Plan = mkStuck()
+			sb, err := Run(p, po)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "stuck-at compiled vs interpreted", sa, sb)
+
+			// A scheduled memory flip mid-run.
+			if len(p.Globals) >= 8 {
+				flip := MemFlip{AtDyn: straight.Dyn / 2, Word: uint64(len(p.Globals)/16) * 8, Mask: 1 << 17}
+				po = hang
+				po.MemFlips = []MemFlip{flip}
+				ma, err := Run(p, po)
+				if err != nil {
+					t.Fatal(err)
+				}
+				po = noComp(hang)
+				po.MemFlips = []MemFlip{flip}
+				mb, err := Run(p, po)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResult(t, "memflip compiled vs interpreted", ma, mb)
+			}
+		})
+	}
+}

@@ -374,5 +374,55 @@ func FuzzVM(f *testing.F) {
 			t.Fatal("NoConverge run reported convergence")
 		}
 		sameResult(t, "plan NoConverge vs full", pk, ps)
+
+		// Compiled fast tier: fuzz-generated programs never have kernels
+		// (the registry gate is keyed by name), so draw a real suite
+		// workload with fuzz-chosen budgets and pit the compiled tier
+		// against the interpreter — results, trap surfaces and snapshots
+		// must be bit-identical, and snapshots must resume across tiers.
+		wp := suitePrograms()[z.n(len(suitePrograms()))]
+		wOpts := Options{
+			MaxDyn:       uint64(1000 + 64*z.n(400)),
+			MaxOutput:    1 << 14,
+			Checkpoint:   uint64(100 + z.n(400)),
+			MaxSnapshots: 4,
+		}
+		wFast, err := Run(wp, wOpts)
+		if err != nil {
+			t.Fatalf("workload compiled: %v", err)
+		}
+		wSlowOpts := wOpts
+		wSlowOpts.NoCompile = true
+		wSlow, err := Run(wp, wSlowOpts)
+		if err != nil {
+			t.Fatalf("workload interpreted: %v", err)
+		}
+		sameResult(t, "workload compiled vs interpreted", wFast, wSlow)
+		if len(wFast.Snapshots) != len(wSlow.Snapshots) {
+			t.Fatalf("workload snapshot counts diverge: %d compiled vs %d interpreted",
+				len(wFast.Snapshots), len(wSlow.Snapshots))
+		}
+		if len(wFast.Snapshots) > 0 {
+			wSnap := wFast.Snapshots[z.n(len(wFast.Snapshots))]
+			xOpts := Options{MaxDyn: wOpts.MaxDyn, MaxOutput: wOpts.MaxOutput}
+			xWant, err := Run(wp, xOpts)
+			if err != nil {
+				t.Fatalf("workload cross-tier baseline: %v", err)
+			}
+			xOpts.Resume = wSnap
+			xOpts.NoCompile = true
+			xr, err := Run(wp, xOpts)
+			if err != nil {
+				t.Fatalf("workload cross-tier resume: %v", err)
+			}
+			sameResult(t, "interpreted resume from compiled workload snapshot", xr, xWant)
+			xOpts.NoCompile = false
+			xOpts.Resume = wSlow.Snapshots[z.n(len(wSlow.Snapshots))]
+			xc, err := Run(wp, xOpts)
+			if err != nil {
+				t.Fatalf("workload cross-tier resume compiled: %v", err)
+			}
+			sameResult(t, "compiled resume from interpreted workload snapshot", xc, xWant)
+		}
 	})
 }

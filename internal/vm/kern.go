@@ -1,0 +1,133 @@
+package vm
+
+// The compiled fast tier: ahead-of-time generated native kernels for the
+// static workload suite.
+//
+// internal/proggen runs under `go generate` and emits one kern_*_gen.go
+// file per workload into this package: for every function of the program,
+// a straight-line Go translation of its basic blocks operating on the
+// same frame/register-arena/CoW-memory state the interpreter uses. The
+// files register themselves here, keyed by program name and guarded by
+// the IR's semantic fingerprint (ir.Program.Fingerprint), so a kernel
+// generated from stale IR is silently ignored and the run falls back to
+// the interpreter.
+//
+// The kernel contract mirrors sprint's: execute from fr.pc with the
+// dynamic, read-slot and write counters in locals, never past the event
+// horizon `lim`, and flush exact counter values on every exit. Unlike
+// sprint, a kernel performs no dispatch at all — blocks are native
+// straight-line code with one horizon check per block, and a stepwise
+// per-instruction path handles blocks the horizon interrupts — so between
+// events the interpreter is escaped entirely. Calls and returns are left
+// to the interpreter (kernOut): frame manipulation is rare, cold, and
+// shared with the observer tier.
+
+import (
+	"os"
+	"sync"
+
+	"multiflip/internal/ir"
+)
+
+//go:generate go run multiflip/internal/proggen
+
+// compileEnabled is the process-wide compiled-tier kill switch: setting
+// MULTIFLIP_NOCOMPILE forces every run onto the interpreter, mirroring
+// MULTIFLIP_NOFUSE and MULTIFLIP_NOCONVERGE. CI's compile-ablation job
+// uses it to keep both tiers green; Options.NoCompile disables the tier
+// per run.
+var compileEnabled = os.Getenv("MULTIFLIP_NOCOMPILE") == ""
+
+// kernStat is a kernel's report of why it returned control.
+type kernStat uint8
+
+const (
+	// kernHorizon: the event horizon was reached (m.dyn == the lim the
+	// kernel was called with); fr.pc and the counters are flushed and the
+	// outer loop's event checks run next.
+	kernHorizon kernStat = iota
+	// kernOut: fr.pc holds a call or return (and m.dyn < lim); the driver
+	// executes that one instruction through the observer tier's step and
+	// re-enters the outer loop.
+	kernOut
+	// kernHalt: the run is over; m.stop (and m.trap) are set and the
+	// counters are flushed.
+	kernHalt
+	// kernBail: the kernel could not run at all (unknown pc, frame shape
+	// mismatch); nothing was executed and the caller should sprint.
+	kernBail
+)
+
+// kernFn executes one function's compiled code from fr.pc until the
+// horizon, a frame operation, or a halt.
+type kernFn func(m *machine, fr *frame, lim uint64) kernStat
+
+// kernProg is one registered workload: the fingerprint of the IR the
+// kernels were generated from, and one kernel per function (indexed like
+// Program.Funcs).
+type kernProg struct {
+	fp  uint64
+	fns []kernFn
+}
+
+// kernRegistry maps program name -> generated kernels. Populated by the
+// generated files' init functions; read-only afterwards.
+var kernRegistry = map[string]*kernProg{}
+
+// registerKernel is called from generated code.
+func registerKernel(name string, fp uint64, fns []kernFn) {
+	kernRegistry[name] = &kernProg{fp: fp, fns: fns}
+}
+
+// kernCache memoizes the fingerprint comparison per program pointer:
+// campaigns run hundreds of thousands of short VM runs against a handful
+// of long-lived *ir.Program values, and rehashing the program image each
+// run would dominate short experiments. Keyed misses for names outside
+// the registry are never cached (fuzz programs are churned by the
+// thousands).
+var kernCache sync.Map // *ir.Program -> []kernFn (nil when stale)
+
+// kernelsFor returns the generated kernels for p, or nil when p has none
+// or its IR no longer matches the generation-time fingerprint.
+func kernelsFor(p *ir.Program) []kernFn {
+	kp, ok := kernRegistry[p.Name]
+	if !ok {
+		return nil
+	}
+	if v, ok := kernCache.Load(p); ok {
+		return v.([]kernFn)
+	}
+	var fns []kernFn
+	if len(kp.fns) == len(p.Funcs) && kp.fp == p.Fingerprint() {
+		fns = kp.fns
+	}
+	kernCache.Store(p, fns)
+	return fns
+}
+
+// Compiled reports whether runs of p use the compiled fast tier (a
+// generated kernel is registered for p's name, its fingerprint matches,
+// and neither the MULTIFLIP_NOCOMPILE kill switch nor anything else
+// disables the tier process-wide). The differential suites use it to
+// prove they compare a real compiled run against the interpreter rather
+// than two interpreted runs.
+func Compiled(p *ir.Program) bool {
+	return compileEnabled && kernelsFor(p) != nil
+}
+
+// outAppend appends the low n bytes of v little-endian to the output
+// buffer and reports whether the output limit still holds. Generated
+// kernels call it for Out instructions.
+func (m *machine) outAppend(v uint64, n int) bool {
+	var buf [8]byte
+	buf[0] = byte(v)
+	buf[1] = byte(v >> 8)
+	buf[2] = byte(v >> 16)
+	buf[3] = byte(v >> 24)
+	buf[4] = byte(v >> 32)
+	buf[5] = byte(v >> 40)
+	buf[6] = byte(v >> 48)
+	buf[7] = byte(v >> 56)
+	m.out = append(m.out, buf[:n]...)
+	return len(m.out) <= m.maxOut
+}

@@ -154,6 +154,14 @@ type Options struct {
 	// ablation. The MULTIFLIP_NOFUSE environment variable disables fusion
 	// process-wide.
 	NoFuse bool
+	// NoCompile disables the compiled fast tier for this run: between
+	// event horizons the VM then sprints token-threaded instead of
+	// executing the workload's generated native kernel (kern.go). Results
+	// are bit-identical either way (the compile differential tests enforce
+	// it); the knob exists for that comparison and for the CI compile
+	// ablation. The MULTIFLIP_NOCOMPILE environment variable disables the
+	// tier process-wide.
+	NoCompile bool
 	// RecordTrace, together with Checkpoint > 0, records a GoldenTrace in
 	// Result.Trace: a per-boundary state-hash trace of this (fault-free)
 	// run that later injected runs can converge against. Ignored when
@@ -299,6 +307,10 @@ type machine struct {
 	// fuse enables superinstruction execution (see dispatch.go); cleared
 	// by Options.NoFuse or the MULTIFLIP_NOFUSE environment variable.
 	fuse bool
+	// kern holds the program's generated native kernels (one per
+	// function), or nil when the program has none or the compiled tier is
+	// disabled (Options.NoCompile / MULTIFLIP_NOCOMPILE).
+	kern []kernFn
 	// retDst is the caller result register of the last statRetWrote
 	// return, for the dispatch loop's write accounting and injection.
 	retDst      ir.Reg
@@ -404,6 +416,9 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 	m.nextMemFlip = ^uint64(0)
 	m.firstBit = -1
 	m.fuse = fusionEnabled && !opts.NoFuse
+	if compileEnabled && !opts.NoCompile {
+		m.kern = kernelsFor(p)
+	}
 	if m.maxOut == 0 {
 		m.maxOut = DefaultMaxOutput
 	}
@@ -704,8 +719,8 @@ func (m *machine) run() {
 		// The event horizon: no snapshot, memory flip, convergence check
 		// or hang stop can fire strictly before this dynamic index.
 		// applyMemFlip, takeSnapshot and checkConverge always advance
-		// their cursors past m.dyn, so sprint makes progress on every
-		// outer iteration.
+		// their cursors past m.dyn, so the execution tiers below make
+		// progress on every outer iteration (m.dyn < limit holds here).
 		limit := m.maxDyn
 		if m.nextSnap < limit {
 			limit = m.nextSnap
@@ -715,6 +730,27 @@ func (m *machine) run() {
 		}
 		if m.nextConv < limit {
 			limit = m.nextConv
+		}
+		// Third tier: the workload's generated native kernel executes to
+		// the horizon with no dispatch at all. Calls and returns punt to
+		// one observed step (cheap: they are rare and already cold), halts
+		// end the run, and a bail — a pc or frame shape the kernel does
+		// not know — falls back to the token-threaded sprint.
+		if m.kern != nil && int(fr.fn) < len(m.kern) {
+			if kf := m.kern[fr.fn]; kf != nil {
+				switch kf(m, fr, limit) {
+				case kernHorizon:
+					continue
+				case kernOut:
+					if fr = m.step(fr); fr == nil {
+						return
+					}
+					continue
+				case kernHalt:
+					return
+				}
+				// kernBail: nothing executed; sprint handles the stretch.
+			}
 		}
 		if fr = m.sprint(fr, limit); fr == nil {
 			return
