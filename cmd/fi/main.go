@@ -39,21 +39,25 @@ import (
 
 // options carries the parsed command line.
 type options struct {
-	prog    string
-	model   string
-	tech    string
-	mbf     int
-	winSpec string
-	n       int
-	seed    uint64
-	hang    uint64
-	workers int
-	nosnap  bool
-	noconv  bool
-	nocomp  bool
-	journal string
-	resume  bool
-	status  bool
+	prog      string
+	model     string
+	tech      string
+	mbf       int
+	winSpec   string
+	n         int
+	seed      uint64
+	hang      uint64
+	workers   int
+	nosnap    bool
+	noconv    bool
+	nocomp    bool
+	classSpec string
+	journal   string
+	resume    bool
+	status    bool
+
+	// classifier is the parsed classSpec.
+	classifier core.Classifier
 }
 
 func main() {
@@ -70,6 +74,7 @@ func main() {
 	flag.BoolVar(&o.nosnap, "nosnap", false, "disable golden-run snapshot fast-forwarding (full prefix replay)")
 	flag.BoolVar(&o.noconv, "noconverge", false, "disable convergence-gated early termination and the fault-equivalence memo")
 	flag.BoolVar(&o.nocomp, "nocompile", false, "disable the compiled fast tier (run the interpreter between event horizons)")
+	flag.StringVar(&o.classSpec, "classifier", "", `outcome classifier: "exact" (default) or "tol:abs=E,rel=E[,word=4|8][,float]" (tolerant output comparison)`)
 	flag.StringVar(&o.journal, "journal", "", "journal directory: run the campaign as a durable sharded job (checkpointed, resumable, multi-process)")
 	flag.BoolVar(&o.resume, "resume", false, "resume the journaled campaign from its last checkpoint (requires -journal)")
 	flag.BoolVar(&o.status, "status", false, "list the campaigns in the -journal directory instead of running one")
@@ -95,6 +100,10 @@ func run(o options) error {
 	// capture, which is seconds of waste on a typo.
 	if o.model != "flip" && o.model != "stuckat" {
 		return fmt.Errorf("unknown model %q (want flip or stuckat)", o.model)
+	}
+	var err error
+	if o.classifier, err = core.ParseClassifier(o.classSpec); err != nil {
+		return err
 	}
 	win := core.Win(0)
 	if o.model == "stuckat" {
@@ -160,13 +169,15 @@ func runFlip(target *core.Target, win core.WinSize, o options) error {
 		NoSnapshots: o.nosnap,
 		NoConverge:  o.noconv,
 		NoCompile:   o.nocomp,
+		Classifier:  o.classifier,
 		Service:     o.service(),
 	})
 	if err != nil {
 		return err
 	}
-	title := fmt.Sprintf("Campaign: %s, %s, %s, n=%d, seed=%d (golden: %d dyn instr, %d/%d candidates)",
-		target.Name, tech, cfg, res.N(), o.seed, target.GoldenDyn, target.ReadCands, target.WriteCands)
+	title := fmt.Sprintf("Campaign: %s, %s, %s, n=%d, seed=%d%s (golden: %d dyn instr, %d/%d candidates)",
+		target.Name, tech, cfg, res.N(), o.seed, classifierTag(o.classifier),
+		target.GoldenDyn, target.ReadCands, target.WriteCands)
 	return renderCampaign(title, &res.EngineResult)
 }
 
@@ -181,13 +192,15 @@ func runStuckAt(target *core.Target, win core.WinSize, o options) error {
 		NoSnapshots: o.nosnap,
 		NoConverge:  o.noconv,
 		NoCompile:   o.nocomp,
+		Classifier:  o.classifier,
 		Service:     o.service(),
 	})
 	if err != nil {
 		return err
 	}
-	title := fmt.Sprintf("Campaign: %s, stuck-at (bit held for a %s-instruction read window), n=%d, seed=%d (golden: %d dyn instr, %d read candidates)",
-		target.Name, win, res.N(), o.seed, target.GoldenDyn, target.ReadCands)
+	title := fmt.Sprintf("Campaign: %s, stuck-at (bit held for a %s-instruction read window), n=%d, seed=%d%s (golden: %d dyn instr, %d read candidates)",
+		target.Name, win, res.N(), o.seed, classifierTag(o.classifier),
+		target.GoldenDyn, target.ReadCands)
 	return renderCampaign(title, &res.EngineResult)
 }
 
@@ -203,8 +216,9 @@ func runStatus(dir string) error {
 		return nil
 	}
 	t := &report.Table{
-		Title:   fmt.Sprintf("Campaign journals in %s", dir),
-		Columns: []string{"campaign", "n", "seed", "shards done/leased/pending", "experiments", "SDC so far"},
+		Title: fmt.Sprintf("Campaign journals in %s", dir),
+		Columns: []string{"campaign", "n", "seed", "shards done/leased/pending",
+			"experiments", "SDC so far", "0->1", "1->0"},
 	}
 	for _, in := range infos {
 		st := in.Status
@@ -217,11 +231,37 @@ func runStatus(dir string) error {
 			strconv.FormatUint(in.Meta.Seed, 10),
 			fmt.Sprintf("%d/%d/%d of %d", st.Done, st.Leased, st.Pending, st.Shards),
 			fmt.Sprintf("%d/%d", st.ExperimentsDone, st.ExperimentsTotal),
-			sdc)
+			sdc,
+			dirCell(&st.Tally, core.Dir0to1),
+			dirCell(&st.Tally, core.Dir1to0))
 	}
 	t.Notes = append(t.Notes,
-		"The tally covers checkpointed shards only; shard merging is exact, so percentages are true partial results.")
+		"The tally covers checkpointed shards only; shard merging is exact, so percentages are true partial results.",
+		"0->1 / 1->0 split checkpointed experiments by flip direction (count and SDC%); journals written before the dimensional tally show \"-\".")
 	return t.Render(os.Stdout)
+}
+
+// dirCell renders one flip-direction column of the status table:
+// "count (sdc%)" over the checkpointed shards, or "-" when the journal
+// predates the dimensional tally (its breakdown is empty).
+func dirCell(tl *core.Tally, dir core.FlipDir) string {
+	if tl.Dims.N() == 0 {
+		return "-"
+	}
+	n := tl.Dims.DirTotal(dir)
+	return fmt.Sprintf("%d (%s%%)", n, stats.FormatPct(stats.Percent(tl.Dims.DirCount(core.OutcomeSDC, dir), n)))
+}
+
+// classifierTag renders the campaign title's classifier suffix: empty
+// for the default exact comparison, ", classifier=<name>" otherwise.
+func classifierTag(c core.Classifier) string {
+	if c == nil {
+		return ""
+	}
+	if name := c.Name(); name != "exact" {
+		return ", classifier=" + name
+	}
+	return ""
 }
 
 // renderCampaign prints the shared outcome table every model's campaign

@@ -41,6 +41,7 @@ func main() {
 		nosnap      = flag.Bool("nosnap", false, "disable golden-run snapshot fast-forwarding (full prefix replay)")
 		noconverge  = flag.Bool("noconverge", false, "disable convergence-gated early termination and the fault-equivalence memo")
 		nocompile   = flag.Bool("nocompile", false, "disable the compiled fast tier (run the interpreter between event horizons)")
+		classifier  = flag.String("classifier", "", `outcome classifier for every campaign: "exact" (default) or "tol:abs=E,rel=E[,word=4|8][,float]"`)
 		journal     = flag.String("journal", "", "journal directory: run campaigns as durable sharded jobs (checkpointed, resumable, multi-process)")
 		resume      = flag.Bool("resume", false, "resume journaled campaigns from their last checkpoints (requires -journal)")
 		out         = flag.String("o", "", "output file (empty = stdout)")
@@ -54,7 +55,7 @@ func main() {
 		transitions: *transitions, ablations: *ablations, memfaults: *memfaults,
 		composition: *composition, stuckat: *stuckat, stuckwin: *stuckwin,
 		workers: *workers, nosnap: *nosnap, noconverge: *noconverge, nocompile: *nocompile,
-		journal: *journal, resume: *resume,
+		classifier: *classifier, journal: *journal, resume: *resume,
 		out: *out, csvDir: *csvDir, verbose: *verbose,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "study:", err)
@@ -78,6 +79,7 @@ type params struct {
 	nosnap      bool
 	noconverge  bool
 	nocompile   bool
+	classifier  string
 	journal     string
 	resume      bool
 	out         string
@@ -123,6 +125,11 @@ func runTo(w io.Writer, p params) error {
 		JournalDir:  p.journal,
 		Resume:      p.resume,
 	}
+	cl, err := core.ParseClassifier(p.classifier)
+	if err != nil {
+		return fmt.Errorf("-classifier: %w", err)
+	}
+	opts.Classifier = cl
 	if p.stuckwin != "" {
 		win, err := core.ParseStuckWindow(p.stuckwin)
 		if err != nil {

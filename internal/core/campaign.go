@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"multiflip/internal/ir"
 	"multiflip/internal/vm"
 	"multiflip/internal/xrand"
 )
@@ -29,13 +30,24 @@ type Pin struct {
 	Bit  int
 }
 
-// Experiment records one fault-injection experiment.
+// Experiment records one fault-injection experiment. The first-flip
+// metadata (Bit, Dir, Role) is uniform across fault models: the VM
+// surfaces it from plan execution, so register flips, memory-word
+// flips and stuck-at holds all report it identically.
 type Experiment struct {
 	// Cand is the first injection's candidate-space index.
 	Cand uint64
-	// Bit is the first injection's bit index within its register, or -1
-	// when the first injection flipped several bits at once.
+	// Bit is the first injection's bit index within its register (or
+	// memory word), or -1 when the first injection flipped several bits
+	// at once or never happened.
 	Bit int
+	// Dir is the first flip's direction (0→1 or 1→0), from the pre-flip
+	// bit value; DirUnknown when Bit is unknown or — for stuck-at holds
+	// — no forced read ever changed a value.
+	Dir FlipDir
+	// Role is the ir.SlotRole of the first injection's target
+	// (ir.RoleNone when no injection occurred).
+	Role ir.SlotRole
 	// Outcome is the §III-E classification.
 	Outcome Outcome
 	// Trap is the hardware-exception kind for OutcomeException runs
@@ -44,6 +56,16 @@ type Experiment struct {
 	// Activated is the number of bit flips actually performed before the
 	// run ended.
 	Activated int
+}
+
+// RecordFlipMeta fills an experiment's uniform first-flip metadata from
+// the raw run result; every fault model's Record calls it so the three
+// models report bit position, direction and role identically.
+func RecordFlipMeta(exp *Experiment, res *vm.Result) {
+	exp.Bit = res.FirstBit
+	exp.Dir = DirFromPre(res.FirstPre)
+	exp.Role = res.FirstRole
+	exp.Activated = res.Injected
 }
 
 // CampaignSpec describes a fault-injection campaign: N experiments with
@@ -76,6 +98,10 @@ type CampaignSpec struct {
 	// NoAlignTrap disables the misaligned-access exception (alignment
 	// ablation).
 	NoAlignTrap bool
+	// Classifier judges golden-vs-actual output when classifying
+	// outcomes (nil = ExactClassifier). Non-default classifiers journal
+	// under their own campaign fingerprint.
+	Classifier Classifier
 	// NoSnapshots forces every experiment to replay the fault-free prefix
 	// from instruction 0 instead of fast-forwarding from the target's
 	// golden-run snapshots. Results are bit-identical either way (the
@@ -231,8 +257,7 @@ func (m *RegisterModel) Plan(t *Target, idx uint64, rng *xrand.Rand) Injection {
 
 // Record implements FaultModel.
 func (m *RegisterModel) Record(exp *Experiment, res *vm.Result) {
-	exp.Bit = res.FirstBit
-	exp.Activated = res.Injected
+	RecordFlipMeta(exp, res)
 }
 
 // RunCampaign executes the campaign on the shared experiment engine.
@@ -260,6 +285,7 @@ func RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
 		NoCompile:   spec.NoCompile,
 		NoConverge:  spec.NoConverge,
 		NoAlignTrap: spec.NoAlignTrap,
+		Classifier:  spec.Classifier,
 		Service:     spec.Service,
 	}).Run()
 	if err != nil {

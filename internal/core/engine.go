@@ -67,7 +67,7 @@ var ErrInterrupted = errors.New("core: campaign interrupted")
 
 // FaultModel plugs one fault class into the Engine. Implementations
 // describe a single experiment's injection; the engine owns workers,
-// claiming, execution, classification (Target.Classify), aggregation,
+// claiming, execution, classification (Engine.Classifier), aggregation,
 // convergence and memoization. A model must be safe for concurrent use:
 // Plan is called from every worker.
 type FaultModel interface {
@@ -148,6 +148,12 @@ type Engine struct {
 	// NoAlignTrap disables the misaligned-access exception (alignment
 	// ablation).
 	NoAlignTrap bool
+	// Classifier judges golden-vs-actual output when classifying
+	// outcomes (nil = ExactClassifier, the paper's byte comparison). A
+	// non-default classifier folds into the campaign fingerprint, so
+	// its journals and memo entries never mix with differently
+	// classified ones.
+	Classifier Classifier
 	// Service, when set (and naming a journal or directory), turns the
 	// run into a durable campaign: experiments execute in journal shards
 	// with per-shard checkpoints, interrupted runs resume from the last
@@ -555,6 +561,14 @@ func (e *Engine) runJournaled() (*EngineResult, error) {
 	return res, nil
 }
 
+// classifier returns the engine's classifier with the default applied.
+func (e *Engine) classifier() Classifier {
+	if e.Classifier == nil {
+		return ExactClassifier{}
+	}
+	return e.Classifier
+}
+
 // runOne performs experiment idx.
 func (e *Engine) runOne(idx uint64, memo memoTable, trace *vm.GoldenTrace) (Experiment, expStats, error) {
 	t := e.Target
@@ -607,7 +621,7 @@ func (e *Engine) runOne(idx uint64, memo memoTable, trace *vm.GoldenTrace) (Expe
 		if res.Stop == vm.StopTrap {
 			exp.Trap = res.Trap
 		}
-		exp.Outcome = t.Classify(res)
+		exp.Outcome = e.classifier().Classify(t.Golden, res)
 		st.converged = res.Converged
 		if res.PostKeyed {
 			memo.store(res.PostKey, memoVal{outcome: exp.Outcome, trap: exp.Trap})

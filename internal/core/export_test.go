@@ -14,3 +14,11 @@ var AutoClaimBatch = autoClaimBatch
 
 // MaxClaimBatch exposes the auto-tuner's upper clamp.
 const MaxClaimBatch = maxClaimBatch
+
+// EngineFingerprint exposes the campaign content address to the
+// classifier-identity tests.
+func EngineFingerprint(e *Engine) uint64 { return e.fingerprint() }
+
+// EngineMemoFingerprint exposes the memo content address to the
+// classifier-identity tests.
+func EngineMemoFingerprint(e *Engine) uint64 { return e.memoFingerprint() }

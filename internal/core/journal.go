@@ -132,7 +132,7 @@ type ShardResult struct {
 // Add folds one experiment into the shard aggregate. converged and
 // memoHit report how the experiment terminated early, if it did.
 func (s *ShardResult) Add(exp *Experiment, converged, memoHit bool) {
-	s.Tally.Add(exp.Outcome)
+	s.Tally.AddDim(exp.Outcome, exp.Bit, exp.Dir)
 	s.Activated += exp.Activated
 	if exp.Outcome == OutcomeException {
 		a := exp.Activated

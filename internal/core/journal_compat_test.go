@@ -1,0 +1,144 @@
+package core_test
+
+// Journal wire-format compatibility. The dimensional tally added a
+// "dims" key to every checkpoint's tally; journals written before it
+// existed carry flat Counts only. The pinned fixture in testdata is
+// such an old-format journal (two checkpointed shards, no "dims"
+// anywhere): it must load cleanly, keep its flat totals authoritative,
+// and fold into an EngineResult — with an empty dimensional breakdown,
+// never an error.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multiflip/internal/core"
+)
+
+// copyFixture copies the pinned old-format journal into a temp dir
+// (opening a journal may append to it; the fixture must stay pristine).
+func copyFixture(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "oldformat-campaign.mfj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "dims") {
+		t.Fatal("fixture is not old-format: it mentions dims")
+	}
+	p := filepath.Join(t.TempDir(), "oldformat-campaign.mfj")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestOldFormatJournalLoads(t *testing.T) {
+	j, err := core.OpenFileJournal(copyFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	meta := j.Meta()
+	if meta.N != 10 || meta.ShardSize != 5 || meta.Seed != 7 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	st, err := j.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 2 || st.Pending != 0 || st.ExperimentsDone != 10 {
+		t.Fatalf("status = %+v", st)
+	}
+	// The flat totals survive: [_, 5 benign, 1 exception, 1 hang, 0
+	// no-output, 3 SDC] merged over both shards.
+	want := [core.NumOutcomes + 1]int{0, 5, 1, 1, 0, 3}
+	if st.Tally.Counts != want {
+		t.Fatalf("tally counts = %v, want %v", st.Tally.Counts, want)
+	}
+	if st.Tally.N() != 10 {
+		t.Fatalf("tally N = %d, want 10", st.Tally.N())
+	}
+	// No record carried a breakdown, so the dimensional half is empty —
+	// not poisoned, not invented.
+	if st.Tally.Dims.N() != 0 {
+		t.Fatalf("dims N = %d, want 0 for an old-format journal", st.Tally.Dims.N())
+	}
+
+	// Folding the loaded checkpoints must reproduce the same totals.
+	results, err := j.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d shard results, want 2", len(results))
+	}
+	var er core.EngineResult
+	for _, sr := range results {
+		lo, _ := meta.Span(sr.Shard)
+		er.Fold(sr, lo)
+	}
+	if er.Tally.Counts != want || er.Tally.Dims.N() != 0 {
+		t.Fatalf("folded tally = %+v", er.Tally)
+	}
+	if er.ActivatedTotal != 10 || er.Converged != 1 {
+		t.Fatalf("folded counters: act=%d conv=%d", er.ActivatedTotal, er.Converged)
+	}
+}
+
+// TestDimsJournalRoundTrip is the forward half of the compatibility
+// story: checkpoints written today carry the dimensional breakdown
+// through the journal bit-for-bit.
+func TestDimsJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.mfj")
+	j, err := core.OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := core.CampaignMeta{Fingerprint: 42, Model: "roundtrip", N: 4, ShardSize: 4, Seed: 1}
+	if err := j.Bind(meta); err != nil {
+		t.Fatal(err)
+	}
+	sr := core.ShardResult{Shard: 0}
+	exps := []core.Experiment{
+		{Bit: 3, Dir: core.Dir0to1, Outcome: core.OutcomeBenign, Activated: 1},
+		{Bit: 3, Dir: core.Dir1to0, Outcome: core.OutcomeSDC, Activated: 1},
+		{Bit: 63, Dir: core.Dir0to1, Outcome: core.OutcomeException, Activated: 1},
+		{Bit: -1, Dir: core.DirUnknown, Outcome: core.OutcomeSDC, Activated: 2},
+	}
+	for i := range exps {
+		sr.Add(&exps[i], false, false)
+	}
+	if err := j.Checkpoint(sr); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := core.OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	results, err := j2.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("%d shard results, want 1", len(results))
+	}
+	if got := results[0].Tally; got != sr.Tally {
+		t.Fatalf("tally did not round-trip:\n got %+v\nwant %+v", got, sr.Tally)
+	}
+	d := &results[0].Tally.Dims
+	if d.Count(core.OutcomeBenign, 3, core.Dir0to1) != 1 ||
+		d.Count(core.OutcomeSDC, 3, core.Dir1to0) != 1 ||
+		d.Count(core.OutcomeException, 63, core.Dir0to1) != 1 ||
+		d.Count(core.OutcomeSDC, -1, core.DirUnknown) != 1 {
+		t.Fatalf("dimensional cells did not round-trip: %+v", d)
+	}
+}

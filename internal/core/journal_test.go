@@ -53,6 +53,9 @@ func sameResult(t *testing.T, label string, want, got *core.EngineResult, wantEa
 	if want.Counts != got.Counts {
 		t.Errorf("%s: tallies differ: %v vs %v", label, want.Counts, got.Counts)
 	}
+	if want.Tally.Dims != got.Tally.Dims {
+		t.Errorf("%s: dimensional tallies differ", label)
+	}
 	if want.CrashActivated != got.CrashActivated {
 		t.Errorf("%s: crash histograms differ", label)
 	}

@@ -155,10 +155,15 @@ func b2u(b bool) uint64 {
 
 // memoFingerprint digests everything a memo entry's validity depends on:
 // the target's observable behaviour (name, golden output, dynamic
-// profile, candidate-space sizes) plus the execution budgets and the
-// exception surface. Fault model, technique, N and seed are deliberately
-// absent — a memoized continuation outcome holds for any campaign that
-// reaches the same post-injection state.
+// profile, candidate-space sizes) plus the execution budgets, the
+// exception surface and the outcome classifier (a memoized continuation
+// outcome is a classification). Fault model, technique, N and seed are
+// deliberately absent — a memoized continuation outcome holds for any
+// campaign that reaches the same post-injection state.
+//
+// The default classifier contributes nothing, so memo files and
+// campaign journals written before the classifier seam existed keep
+// their content addresses and resume unchanged.
 func (e *Engine) memoFingerprint() uint64 {
 	t := e.Target
 	hangFactor := e.HangFactor
@@ -173,6 +178,9 @@ func (e *Engine) memoFingerprint() uint64 {
 	h = mixBytes(h, t.Golden)
 	h = mix(h, hangFactor)
 	h = mix(h, b2u(e.NoAlignTrap))
+	if name := e.classifier().Name(); name != "exact" {
+		h = mixBytes(h, []byte(name))
+	}
 	return h
 }
 

@@ -56,6 +56,9 @@ type StuckAtSpec struct {
 	// NoConverge disables convergence-gated early termination and the
 	// fault-equivalence memo.
 	NoConverge bool
+	// Classifier judges golden-vs-actual output when classifying
+	// outcomes (nil = ExactClassifier).
+	Classifier Classifier
 	// Service, when set (and naming a journal or directory), runs the
 	// campaign as a durable job (see core.Service).
 	Service *Service
@@ -159,8 +162,7 @@ func (m *StuckAtModel) Plan(t *Target, idx uint64, rng *xrand.Rand) Injection {
 
 // Record implements FaultModel.
 func (m *StuckAtModel) Record(exp *Experiment, res *vm.Result) {
-	exp.Bit = res.FirstBit
-	exp.Activated = res.Injected
+	RecordFlipMeta(exp, res)
 }
 
 // RunStuckAt executes a stuck-at campaign on the shared experiment
@@ -184,6 +186,7 @@ func RunStuckAt(spec StuckAtSpec) (*StuckAtResult, error) {
 		NoFusion:   spec.NoFusion,
 		NoCompile:  spec.NoCompile,
 		NoConverge: spec.NoConverge,
+		Classifier: spec.Classifier,
 		Service:    spec.Service,
 	}).Run()
 	if err != nil {

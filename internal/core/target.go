@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"fmt"
 	"sort"
 
@@ -177,30 +176,11 @@ func (t *Target) Candidates(tech Technique) uint64 {
 	return t.ReadCands
 }
 
-// Classify maps a run result to the paper's outcome categories (§III-E):
-//
-//   - a trap is Detected by Hardware Exception;
-//   - exceeding the dynamic-instruction budget is a Hang (the output-limit
-//     stop is classified likewise: only a watchdog would catch it);
-//   - normal termination with no output is NoOutput;
-//   - normal termination with golden output is Benign;
-//   - normal termination with different output is an SDC.
-//
-// Convergence-terminated runs (res.Converged) pass through unchanged:
-// they report the golden stop reason and output, so they classify as the
-// full run would — Benign, since the golden run returns its own output.
+// Classify maps a run result to the paper's outcome categories (§III-E)
+// with the default exact-output classifier. Campaigns that want a
+// different output judgement set Engine.Classifier (or the Classifier
+// field of their spec) instead; this method is the back-compat
+// shorthand for the default.
 func (t *Target) Classify(res *vm.Result) Outcome {
-	switch res.Stop {
-	case vm.StopTrap:
-		return OutcomeException
-	case vm.StopHang, vm.StopOutputLimit:
-		return OutcomeHang
-	}
-	if len(res.Output) == 0 {
-		return OutcomeNoOutput
-	}
-	if bytes.Equal(res.Output, t.Golden) {
-		return OutcomeBenign
-	}
-	return OutcomeSDC
+	return ExactClassifier{}.Classify(t.Golden, res)
 }

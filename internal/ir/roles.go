@@ -10,6 +10,10 @@ import "fmt"
 // conditions redirect control flow.
 type SlotRole uint8
 
+// RoleNone is the zero SlotRole: no register was read or written (for
+// example, a run whose injection never happened).
+const RoleNone SlotRole = 0
+
 // Roles.
 const (
 	// RoleAddress marks pointer-carrying operands: load/store addresses
@@ -42,6 +46,8 @@ func (r SlotRole) String() string {
 		return "float"
 	case RoleOther:
 		return "other"
+	case RoleNone:
+		return "none"
 	}
 	return fmt.Sprintf("SlotRole(%d)", uint8(r))
 }

@@ -117,6 +117,11 @@ const (
 	// per bit per element), the hottest remaining annotation-only pair in
 	// the FFT profile.
 	FuseShlAnd
+	// FuseAndLshr is an and followed by a logical shift-right — the
+	// mask-and-shift idiom of CRC32's table-derivation loop (lsb = c&1
+	// ahead of c>>1 runs once per bit per table entry), the ROADMAP's
+	// residual dispatch follow-up.
+	FuseAndLshr
 	// FuseCmpEQBr .. FuseCmpSLEBr are an integer compare followed by a
 	// conditional branch on the compare's destination register.
 	FuseCmpEQBr
@@ -312,6 +317,12 @@ func fuseKind(a, b *Instr) FuseKind {
 	// neither can trap, so any adjacent pair is legal.
 	if a.Op == OpShl && b.Op == OpAnd {
 		return FuseShlAnd
+	}
+	// and followed by lshr — the mask-and-shift idiom of CRC32's table
+	// loop (c&1 ahead of c>>1). Like shl+and, the halves need not be
+	// dependent and neither can trap, so any adjacent pair is legal.
+	if a.Op == OpAnd && b.Op == OpLShr {
+		return FuseAndLshr
 	}
 	// Register move + anything: the mov executes inline ahead of its
 	// successor's dispatch.

@@ -65,6 +65,9 @@ type Spec struct {
 	NoConverge bool
 	// Record keeps per-experiment outcomes in the result.
 	Record bool
+	// Classifier judges golden-vs-actual output when classifying
+	// outcomes (nil = core.ExactClassifier).
+	Classifier core.Classifier
 	// Service, when set (and naming a journal or directory), runs the
 	// campaign as a durable job (see core.Service).
 	Service *core.Service
@@ -149,10 +152,11 @@ func (m *Model) Plan(t *core.Target, idx uint64, rng *xrand.Rand) core.Injection
 	return inj
 }
 
-// Record implements core.FaultModel.
+// Record implements core.FaultModel. The uniform first-flip metadata
+// is surfaced by the VM for memory flips too: a single-bit mask (Bits
+// = 1) reports its bit position and direction like a register flip.
 func (m *Model) Record(exp *core.Experiment, res *vm.Result) {
-	exp.Bit = res.FirstBit
-	exp.Activated = res.Injected
+	core.RecordFlipMeta(exp, res)
 }
 
 // Run executes the campaign on the shared experiment engine. Like
@@ -172,6 +176,7 @@ func Run(spec Spec) (*Result, error) {
 		NoFusion:   spec.NoFusion,
 		NoCompile:  spec.NoCompile,
 		NoConverge: spec.NoConverge,
+		Classifier: spec.Classifier,
 		Service:    spec.Service,
 	}).Run()
 	if err != nil {

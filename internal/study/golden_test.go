@@ -59,6 +59,8 @@ func TestGoldenFigures(t *testing.T) {
 		checkGolden(t, "figure45-"+suffix, s.Figure45(tech).String())
 		checkGolden(t, "candidate-composition-"+suffix, s.CandidateComposition(tech).String())
 		checkGolden(t, "exception-breakdown-"+suffix, s.ExceptionBreakdown(tech).String())
+		checkGolden(t, "bit-position-"+suffix, s.BitPosition(tech).String())
+		checkGolden(t, "flip-direction-"+suffix, s.FlipDirection(tech).String())
 	}
 	checkGolden(t, "table2", s.TableII().String())
 	t3, err := s.TableIII()
@@ -68,6 +70,39 @@ func TestGoldenFigures(t *testing.T) {
 	checkGolden(t, "table3", t3.String())
 	checkGolden(t, "pruning-dividend", s.PruningDividend().String())
 	checkGolden(t, "stuckat", s.StuckAtTable().String())
+}
+
+// TestDimsSumToFlat guards the dimensional breakdowns independently of
+// the pinned bytes: in every campaign of the tiny study the dimensional
+// cells must sum, per outcome, to the flat Counts the percentages and
+// journal validation derive from.
+func TestDimsSumToFlat(t *testing.T) {
+	s := tiny(t)
+	check := func(name string, tl *core.Tally) {
+		t.Helper()
+		for o := core.OutcomeBenign; o <= core.OutcomeSDC; o++ {
+			dim := 0
+			for b := 0; b <= core.UnknownBit; b++ {
+				dim += tl.Dims.BitCount(o, b)
+			}
+			if dim != tl.Count(o) {
+				t.Errorf("%s: outcome %s: dims sum %d != flat count %d", name, o, dim, tl.Count(o))
+			}
+		}
+		if tl.Dims.N() != tl.N() {
+			t.Errorf("%s: dims N %d != flat N %d", name, tl.Dims.N(), tl.N())
+		}
+	}
+	for _, name := range s.Programs {
+		d := s.Data[name]
+		for _, tech := range core.Techniques() {
+			check(name+"/single", &d.Single[tech].Tally)
+			for _, r := range d.Multi[tech] {
+				check(name+"/multi", &r.Tally)
+			}
+		}
+		check(name+"/stuckat", &d.StuckAt.Tally)
+	}
 }
 
 // TestGoldenAnswers pins the rendered research-question answers, both

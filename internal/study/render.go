@@ -34,6 +34,12 @@ func (s *Study) Tables(withTransitions bool) ([]*report.Table, error) {
 		tables = append(tables, s.Figure3(tech))
 	}
 	tables = append(tables, s.Figure45(core.InjectOnRead), s.Figure45(core.InjectOnWrite))
+	for _, tech := range core.Techniques() {
+		tables = append(tables, s.BitPosition(tech))
+	}
+	for _, tech := range core.Techniques() {
+		tables = append(tables, s.FlipDirection(tech))
+	}
 
 	t3, err := s.TableIII()
 	if err != nil {

@@ -56,6 +56,10 @@ type Options struct {
 	// either way; the knob supports A/B timing and the CI compile
 	// ablation.
 	NoCompile bool
+	// Classifier judges golden-vs-actual output in every campaign of the
+	// study (nil = core.ExactClassifier). Non-default classifiers journal
+	// under their own campaign fingerprints.
+	Classifier core.Classifier
 	// JournalDir, when set, runs every campaign as a durable journaled
 	// job under this directory: campaigns checkpoint per shard, a killed
 	// study resumes from its last checkpoints (with Resume), and
@@ -210,6 +214,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 			NoSnapshots: opts.NoSnapshots,
 			NoConverge:  opts.NoConverge,
 			NoCompile:   opts.NoCompile,
+			Classifier:  opts.Classifier,
 			Service:     svc,
 		})
 		if err != nil {
@@ -230,6 +235,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 					NoSnapshots: opts.NoSnapshots,
 					NoConverge:  opts.NoConverge,
 					NoCompile:   opts.NoCompile,
+					Classifier:  opts.Classifier,
 					Service:     svc,
 				})
 				if err != nil {
@@ -255,6 +261,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 		NoSnapshots: opts.NoSnapshots,
 		NoConverge:  opts.NoConverge,
 		NoCompile:   opts.NoCompile,
+		Classifier:  opts.Classifier,
 		Service:     svc,
 	})
 	if err != nil {

@@ -208,3 +208,77 @@ func TestFusionCheckpointDifferential(t *testing.T) {
 		}
 	}
 }
+
+// TestFuseAndLshrAnnotated pins the FuseAndLshr promotion: CRC32's
+// table-derivation loop (lsb = c&1 ahead of c>>1) must carry executed
+// and+lshr superinstructions (not the annotation-only FusePair it
+// carried before the promotion).
+func TestFuseAndLshrAnnotated(t *testing.T) {
+	bench, err := prog.ByName("CRC32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := bench.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, f := range p.Funcs {
+		for pc := range f.Code {
+			if f.Code[pc].FTok == ir.FuseAndLshr {
+				count++
+				if f.Code[pc].Op != ir.OpAnd || f.Code[pc+1].Op != ir.OpLShr {
+					t.Fatalf("FuseAndLshr on a %s+%s pair", f.Code[pc].Op, f.Code[pc+1].Op)
+				}
+			}
+		}
+	}
+	if count == 0 {
+		t.Fatal("CRC32 carries no FuseAndLshr superinstruction")
+	}
+}
+
+// TestFuseAndLshrDifferential exercises the and+lshr superinstruction in
+// both shapes — the shift depending on the and's destination, and the
+// independent adjacent pair CRC32's table loop uses — against unfused
+// dispatch, across mixed widths.
+func TestFuseAndLshrDifferential(t *testing.T) {
+	mb := ir.NewModule("and-lshr")
+	g := mb.GlobalU64s([]uint64{0xfedcba9876543210})
+	f := mb.Func("main", 0)
+	v := f.Load64(ir.C(g), 0)
+	f.For(ir.C(0), ir.C(64), func(i ir.Reg) {
+		// Dependent: the shift reads the and's destination.
+		m := f.BinW(ir.W64, ir.OpAnd, v, ir.C(0xff00ff00ff00ff00))
+		s := f.BinW(ir.W64, ir.OpLShr, m, i)
+		// Independent: adjacent and+lshr with disjoint operands (the
+		// CRC32 idiom), at a different width.
+		m2 := f.And(v, ir.C(1))
+		s2 := f.Lshr(v, ir.C(1))
+		f.Out64(s)
+		f.Out32(f.Add(m2, s2))
+	})
+	f.RetVoid()
+	p := mb.MustBuild()
+
+	andLshrs := 0
+	for _, fn := range p.Funcs {
+		for pc := range fn.Code {
+			if fn.Code[pc].FTok == ir.FuseAndLshr {
+				andLshrs++
+			}
+		}
+	}
+	if andLshrs < 2 {
+		t.Fatalf("expected both and+lshr shapes annotated, got %d", andLshrs)
+	}
+	fused, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfused, err := Run(p, Options{NoFuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "and+lshr unfused vs fused", unfused, fused)
+}

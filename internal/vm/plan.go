@@ -113,7 +113,7 @@ func (m *machine) maybeInjectRead(di uint64, in *ir.Instr, regs []uint64, nr int
 		}
 		slot := int(p.FirstCand - m.readSlots)
 		reg := in.ReadSlot(slot)
-		m.applyFirst(di, regs, reg, ir.SlotWidth(in, slot).Bits())
+		m.applyFirst(di, regs, reg, ir.SlotWidth(in, slot).Bits(), ir.ReadSlotRole(in, slot))
 		return
 	}
 	if di < m.nextDyn || nr == 0 {
@@ -125,8 +125,9 @@ func (m *machine) maybeInjectRead(di uint64, in *ir.Instr, regs []uint64, nr int
 }
 
 // maybeInjectWrite performs due inject-on-write flips for the destination
-// register dst, just written by the instruction at dynamic index di.
-func (m *machine) maybeInjectWrite(di uint64, w ir.Width, regs []uint64, dst ir.Reg) {
+// register dst (role, per ir.DestRole), just written by the instruction
+// at dynamic index di.
+func (m *machine) maybeInjectWrite(di uint64, w ir.Width, regs []uint64, dst ir.Reg, role ir.SlotRole) {
 	p := m.plan
 	if !m.firstDone {
 		// m.writes has already been incremented for this instruction, so
@@ -134,7 +135,7 @@ func (m *machine) maybeInjectWrite(di uint64, w ir.Width, regs []uint64, dst ir.
 		if m.writes-1 != p.FirstCand {
 			return
 		}
-		m.applyFirst(di, regs, dst, w.Bits())
+		m.applyFirst(di, regs, dst, w.Bits(), role)
 		return
 	}
 	if di < m.nextDyn {
@@ -143,10 +144,15 @@ func (m *machine) maybeInjectWrite(di uint64, w ir.Width, regs []uint64, dst ir.
 	m.applyFollow(di, regs, dst, w.Bits())
 }
 
-// applyFirst performs the first injection on reg (width wbits).
-func (m *machine) applyFirst(di uint64, regs []uint64, reg ir.Reg, wbits int) {
+// applyFirst performs the first injection on reg (width wbits, role per
+// the injecting slot), recording the uniform first-flip metadata every
+// fault model reports: bit position, pre-flip bit value (the flip
+// direction) and target role. Multi-bit first flips have no single bit
+// or direction and leave firstBit/firstPre at -1.
+func (m *machine) applyFirst(di uint64, regs []uint64, reg ir.Reg, wbits int, role ir.SlotRole) {
 	p := m.plan
 	m.firstDone = true
+	m.firstRole = role
 	if p.SameReg {
 		var mask uint64
 		if p.PinnedBit >= 0 {
@@ -158,11 +164,12 @@ func (m *machine) applyFirst(di uint64, regs []uint64, reg ir.Reg, wbits int) {
 		} else {
 			mask = p.Rng.DistinctBits(p.MaxFlips, wbits)
 		}
-		regs[reg] ^= mask
 		n := popcount(mask)
 		if n == 1 {
 			m.firstBit = trailingZeros(mask)
+			m.firstPre = int((regs[reg] >> uint(m.firstBit)) & 1)
 		}
+		regs[reg] ^= mask
 		m.injected += n
 		for i := 0; i < n; i++ {
 			m.injDyns = append(m.injDyns, di)
@@ -176,8 +183,9 @@ func (m *machine) applyFirst(di uint64, regs []uint64, reg ir.Reg, wbits int) {
 	} else {
 		bit %= wbits
 	}
-	regs[reg] ^= 1 << uint(bit)
 	m.firstBit = bit
+	m.firstPre = int((regs[reg] >> uint(bit)) & 1)
+	regs[reg] ^= 1 << uint(bit)
 	m.injected++
 	m.injDyns = append(m.injDyns, di)
 	if m.injected >= p.MaxFlips {
@@ -212,6 +220,10 @@ func (m *machine) stuckRead(di uint64, in *ir.Instr, regs []uint64, nr int) {
 		}
 		m.firstDone = true
 		m.firstBit = bit
+		// The anchor read's slot role; the pre-flip value is recorded by
+		// the first value-changing force (forceHeld), since activation
+		// alone may never change a value.
+		m.firstRole = ir.ReadSlotRole(in, slot)
 		m.holdReg = reg
 		m.holdBit = bit
 		m.holdEnd = di + p.HoldWindow
@@ -252,6 +264,9 @@ func (m *machine) forceHeld(di uint64, regs []uint64) {
 		nv = old | mask
 	}
 	if nv != old {
+		if m.firstPre < 0 {
+			m.firstPre = int((old >> uint(m.holdBit)) & 1)
+		}
 		regs[m.holdReg] = nv
 		m.injected++
 		m.injDyns = append(m.injDyns, di)

@@ -224,6 +224,17 @@ type Result struct {
 	// flipped multiple bits (same-register multi-flip). Campaigns record
 	// it so later runs can pin the exact same first error (§IV-C3).
 	FirstBit int
+	// FirstPre is the pre-flip value (0 or 1) of the first injected bit,
+	// giving the flip direction (0 = flipped 0→1, 1 = flipped 1→0), or
+	// -1 when FirstBit is unknown or nothing changed a value. For
+	// stuck-at holds it reports the bit value the first value-changing
+	// forced read replaced.
+	FirstPre int
+	// FirstRole is the ir.SlotRole of the first injection's target: the
+	// role of the read slot or destination register for register plans,
+	// the anchor read slot for stuck-at holds, and ir.RoleData for
+	// memory-word flips. ir.RoleNone (0) when no injection occurred.
+	FirstRole ir.SlotRole
 	// InjectionDyns records the dynamic index of each injection.
 	InjectionDyns []uint64
 	// ReadRoles counts inject-on-read candidates by ir.SlotRole; filled
@@ -319,6 +330,8 @@ type machine struct {
 	nextMemFlip uint64
 	injected    int
 	firstBit    int
+	firstPre    int
+	firstRole   ir.SlotRole
 	firstDone   bool
 	nextDyn     uint64 // next dynamic index eligible for a follow-up injection
 	injDyns     []uint64
@@ -415,6 +428,7 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 	m.memFlips = opts.MemFlips
 	m.nextMemFlip = ^uint64(0)
 	m.firstBit = -1
+	m.firstPre = -1
 	m.fuse = fusionEnabled && !opts.NoFuse
 	if compileEnabled && !opts.NoCompile {
 		m.kern = kernelsFor(p)
@@ -549,6 +563,8 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 		Writes:        m.writes,
 		Injected:      m.injected,
 		FirstBit:      m.firstBit,
+		FirstPre:      m.firstPre,
+		FirstRole:     m.firstRole,
 		InjectionDyns: m.injDyns,
 		ReadRoles:     m.readRoles,
 		WriteRoles:    m.writeRoles,
@@ -849,6 +865,18 @@ func (m *machine) sprint(fr *frame, limit uint64) *frame {
 				regs[in.Dst] = ((val(regs, in.A) & mask) << sh) & mask
 				writes++
 				regs[in2.Dst] = val(regs, in2.A) & val(regs, in2.B) & in2.W.Mask()
+				writes++
+				fr.pc += 2
+			case ir.FuseAndLshr:
+				// and then lshr — CRC32's mask-and-shift idiom (lsb = c&1
+				// ahead of c>>1). Both halves run their generic
+				// width-masked bodies in order; the and is written first,
+				// so a dependent shift reads it like any operand.
+				regs[in.Dst] = val(regs, in.A) & val(regs, in.B) & in.W.Mask()
+				writes++
+				w2 := in2.W
+				sh := val(regs, in2.B) & uint64(w2.Bits()-1)
+				regs[in2.Dst] = (val(regs, in2.A) & w2.Mask()) >> sh
 				writes++
 				fr.pc += 2
 			default:
@@ -1165,7 +1193,7 @@ func (m *machine) step(fr *frame) *frame {
 		if in.DW != 0 {
 			m.writes++
 			if m.injWrite {
-				m.maybeInjectWrite(di, ir.DestWidth(in), fr.regs, in.Dst)
+				m.maybeInjectWrite(di, ir.DestWidth(in), fr.regs, in.Dst, ir.DestRole(in))
 			}
 		}
 		fr.pc++
@@ -1178,7 +1206,7 @@ func (m *machine) step(fr *frame) *frame {
 		fr = &m.frames[len(m.frames)-1]
 		m.writes++
 		if m.injWrite {
-			m.maybeInjectWrite(di, ir.W64, fr.regs, m.retDst)
+			m.maybeInjectWrite(di, ir.W64, fr.regs, m.retDst, ir.RoleOther)
 		}
 	default: // statHalt
 		return nil
@@ -1313,6 +1341,16 @@ func (m *machine) applyMemFlip(di uint64) {
 			continue // outside the global image: nothing to corrupt
 		}
 		v := m.globals.load(int(mf.Word), 8)
+		if m.injected == 0 {
+			// Uniform first-flip metadata, like the register injectors: a
+			// corrupted memory word carries data, and a single-bit mask
+			// has a definite position and direction.
+			m.firstRole = ir.RoleData
+			if popcount(mf.Mask) == 1 {
+				m.firstBit = trailingZeros(mf.Mask)
+				m.firstPre = int((v >> uint(m.firstBit)) & 1)
+			}
+		}
 		m.globals.store(int(mf.Word), 8, v^mf.Mask)
 		m.injected += popcount(mf.Mask)
 		m.injDyns = append(m.injDyns, di)
