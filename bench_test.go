@@ -599,3 +599,51 @@ func BenchmarkSnapshotCapture(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCampaignSupervised pins the cost of the supervised execution
+// layer on the healthy path: the recover scope, the tier ladder and the
+// failure-policy bookkeeping every experiment now runs through. Both
+// policies execute identical work when nothing fails, so the two
+// sub-benchmarks should sit within noise of each other and of the
+// pre-supervision engine — a spread here means supervision overhead
+// leaked into the per-experiment path.
+func BenchmarkCampaignSupervised(b *testing.B) {
+	bench, err := prog.ByName("CRC32")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := bench.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := core.NewTarget(bench.Name, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tt := range []struct {
+		name   string
+		policy core.FailurePolicy
+	}{
+		{"failfast", core.FailFast},
+		{"quarantine", core.Quarantine},
+	} {
+		b.Run(tt.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunCampaign(core.CampaignSpec{
+					Target:    target,
+					Technique: core.InjectOnRead,
+					Config:    core.Config{MaxMBF: 3, Win: core.Win(10)},
+					N:         benchN,
+					Seed:      1,
+					OnFailure: tt.policy,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.N() != benchN {
+					b.Fatalf("campaign ran %d experiments, want %d", res.N(), benchN)
+				}
+			}
+		})
+	}
+}

@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
+	"time"
 
 	"multiflip/internal/core"
 	"multiflip/internal/prog"
@@ -39,25 +41,27 @@ import (
 
 // options carries the parsed command line.
 type options struct {
-	prog      string
-	model     string
-	tech      string
-	mbf       int
-	winSpec   string
-	n         int
-	seed      uint64
-	hang      uint64
-	workers   int
-	nosnap    bool
-	noconv    bool
-	nocomp    bool
-	classSpec string
-	journal   string
-	resume    bool
-	status    bool
+	prog       string
+	model      string
+	tech       string
+	mbf        int
+	winSpec    string
+	n          int
+	seed       uint64
+	hang       uint64
+	workers    int
+	nosnap     bool
+	noconv     bool
+	nocomp     bool
+	classSpec  string
+	onfailSpec string
+	journal    string
+	resume     bool
+	status     bool
 
-	// classifier is the parsed classSpec.
+	// classifier is the parsed classSpec; onfail the parsed onfailSpec.
 	classifier core.Classifier
+	onfail     core.FailurePolicy
 }
 
 func main() {
@@ -75,6 +79,7 @@ func main() {
 	flag.BoolVar(&o.noconv, "noconverge", false, "disable convergence-gated early termination and the fault-equivalence memo")
 	flag.BoolVar(&o.nocomp, "nocompile", false, "disable the compiled fast tier (run the interpreter between event horizons)")
 	flag.StringVar(&o.classSpec, "classifier", "", `outcome classifier: "exact" (default) or "tol:abs=E,rel=E[,word=4|8][,float]" (tolerant output comparison)`)
+	flag.StringVar(&o.onfailSpec, "onfail", "", `failure policy for experiments failing every supervision tier: "fast" (abort, default) or "quarantine" (poison and keep draining)`)
 	flag.StringVar(&o.journal, "journal", "", "journal directory: run the campaign as a durable sharded job (checkpointed, resumable, multi-process)")
 	flag.BoolVar(&o.resume, "resume", false, "resume the journaled campaign from its last checkpoint (requires -journal)")
 	flag.BoolVar(&o.status, "status", false, "list the campaigns in the -journal directory instead of running one")
@@ -103,6 +108,9 @@ func run(o options) error {
 	}
 	var err error
 	if o.classifier, err = core.ParseClassifier(o.classSpec); err != nil {
+		return err
+	}
+	if o.onfail, err = core.ParseFailurePolicy(o.onfailSpec); err != nil {
 		return err
 	}
 	win := core.Win(0)
@@ -170,6 +178,7 @@ func runFlip(target *core.Target, win core.WinSize, o options) error {
 		NoConverge:  o.noconv,
 		NoCompile:   o.nocomp,
 		Classifier:  o.classifier,
+		OnFailure:   o.onfail,
 		Service:     o.service(),
 	})
 	if err != nil {
@@ -193,6 +202,7 @@ func runStuckAt(target *core.Target, win core.WinSize, o options) error {
 		NoConverge:  o.noconv,
 		NoCompile:   o.nocomp,
 		Classifier:  o.classifier,
+		OnFailure:   o.onfail,
 		Service:     o.service(),
 	})
 	if err != nil {
@@ -220,6 +230,7 @@ func runStatus(dir string) error {
 		Columns: []string{"campaign", "n", "seed", "shards done/leased/pending",
 			"experiments", "SDC so far", "0->1", "1->0"},
 	}
+	var extra []string
 	for _, in := range infos {
 		st := in.Status
 		sdc := "-"
@@ -234,10 +245,21 @@ func runStatus(dir string) error {
 			sdc,
 			dirCell(&st.Tally, core.Dir0to1),
 			dirCell(&st.Tally, core.Dir1to0))
+		// In-flight shards with live leases: who holds what, and for how
+		// much longer, instead of lumping them in with pending shards.
+		for _, l := range st.Leases {
+			extra = append(extra, fmt.Sprintf("%s seed=%d: shard %d leased by %s, expires in %s (heartbeats extend it)",
+				in.Meta.Model, in.Meta.Seed, l.Shard, l.Worker, l.Remaining.Round(100*time.Millisecond)))
+		}
+		if st.Quarantined > 0 {
+			extra = append(extra, fmt.Sprintf("%s seed=%d: %d experiment(s) quarantined — run the campaign front-end for the repro records",
+				in.Meta.Model, in.Meta.Seed, st.Quarantined))
+		}
 	}
 	t.Notes = append(t.Notes,
 		"The tally covers checkpointed shards only; shard merging is exact, so percentages are true partial results.",
 		"0->1 / 1->0 split checkpointed experiments by flip direction (count and SDC%); journals written before the dimensional tally show \"-\".")
+	t.Notes = append(t.Notes, extra...)
 	return t.Render(os.Stdout)
 }
 
@@ -277,10 +299,31 @@ func renderCampaign(title string, res *core.EngineResult) error {
 			stats.FormatPct(res.Pct(o)),
 			"±"+stats.FormatPct(res.CI95(o)))
 	}
+	// The Internal row appears only when the Quarantine policy actually
+	// poisoned experiments: healthy output is byte-identical to builds
+	// that predate the supervision layer.
+	if n := res.Count(core.OutcomeInternal); n > 0 {
+		t.AddRow(core.OutcomeInternal.String(),
+			strconv.Itoa(n),
+			stats.FormatPct(res.Pct(core.OutcomeInternal)),
+			"±"+stats.FormatPct(res.CI95(core.OutcomeInternal)))
+	}
 	t.AddRow("Detection", "", stats.FormatPct(res.DetectionPct()), "")
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("error resilience: %.3f", res.Resilience()),
 		fmt.Sprintf("mean activated errors per experiment: %.2f", float64(res.ActivatedTotal)/float64(res.N())),
 		fmt.Sprintf("early exits: %d converged with the golden run, %d fault-equivalence memo hits", res.Converged, res.MemoHits))
+	for _, q := range res.Quarantined {
+		failure := ""
+		if n := len(q.Errs); n > 0 {
+			failure = q.Errs[n-1]
+		}
+		if q.Panic != "" {
+			failure = fmt.Sprintf("panic: %s [stack %s]", q.Panic, q.Stack)
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"quarantined: experiment %d (seed %d) failed every tier (%s): %s",
+			q.Index, q.Seed, strings.Join(q.Tiers, "->"), failure))
+	}
 	return t.Render(os.Stdout)
 }

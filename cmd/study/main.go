@@ -42,6 +42,7 @@ func main() {
 		noconverge  = flag.Bool("noconverge", false, "disable convergence-gated early termination and the fault-equivalence memo")
 		nocompile   = flag.Bool("nocompile", false, "disable the compiled fast tier (run the interpreter between event horizons)")
 		classifier  = flag.String("classifier", "", `outcome classifier for every campaign: "exact" (default) or "tol:abs=E,rel=E[,word=4|8][,float]"`)
+		onfail      = flag.String("onfail", "", `failure policy for experiments failing every supervision tier: "fast" (abort, default) or "quarantine" (poison and keep draining)`)
 		journal     = flag.String("journal", "", "journal directory: run campaigns as durable sharded jobs (checkpointed, resumable, multi-process)")
 		resume      = flag.Bool("resume", false, "resume journaled campaigns from their last checkpoints (requires -journal)")
 		out         = flag.String("o", "", "output file (empty = stdout)")
@@ -55,7 +56,7 @@ func main() {
 		transitions: *transitions, ablations: *ablations, memfaults: *memfaults,
 		composition: *composition, stuckat: *stuckat, stuckwin: *stuckwin,
 		workers: *workers, nosnap: *nosnap, noconverge: *noconverge, nocompile: *nocompile,
-		classifier: *classifier, journal: *journal, resume: *resume,
+		classifier: *classifier, onfail: *onfail, journal: *journal, resume: *resume,
 		out: *out, csvDir: *csvDir, verbose: *verbose,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "study:", err)
@@ -80,6 +81,7 @@ type params struct {
 	noconverge  bool
 	nocompile   bool
 	classifier  string
+	onfail      string
 	journal     string
 	resume      bool
 	out         string
@@ -130,6 +132,11 @@ func runTo(w io.Writer, p params) error {
 		return fmt.Errorf("-classifier: %w", err)
 	}
 	opts.Classifier = cl
+	policy, err := core.ParseFailurePolicy(p.onfail)
+	if err != nil {
+		return fmt.Errorf("-onfail: %w", err)
+	}
+	opts.OnFailure = policy
 	if p.stuckwin != "" {
 		win, err := core.ParseStuckWindow(p.stuckwin)
 		if err != nil {

@@ -102,6 +102,11 @@ type CampaignSpec struct {
 	// outcomes (nil = ExactClassifier). Non-default classifiers journal
 	// under their own campaign fingerprint.
 	Classifier Classifier
+	// OnFailure decides what happens to an experiment that fails or
+	// panics at every supervision tier: FailFast (default) aborts the
+	// campaign, Quarantine poisons the experiment (OutcomeInternal, repro
+	// metadata in CampaignResult.Quarantined) and keeps draining.
+	OnFailure FailurePolicy
 	// NoSnapshots forces every experiment to replay the fault-free prefix
 	// from instruction 0 instead of fast-forwarding from the target's
 	// golden-run snapshots. Results are bit-identical either way (the
@@ -273,20 +278,21 @@ func RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
 		n = len(spec.Pins)
 	}
 	er, err := (&Engine{
-		Target:      spec.Target,
-		Model:       &RegisterModel{Spec: &spec},
-		N:           n,
-		Seed:        spec.Seed,
-		HangFactor:  spec.HangFactor,
-		Workers:     spec.Workers,
-		ClaimBatch:  spec.ClaimBatch,
-		Record:      spec.Record,
-		NoFusion:    spec.NoFusion,
-		NoCompile:   spec.NoCompile,
-		NoConverge:  spec.NoConverge,
-		NoAlignTrap: spec.NoAlignTrap,
-		Classifier:  spec.Classifier,
-		Service:     spec.Service,
+		Target:        spec.Target,
+		Model:         &RegisterModel{Spec: &spec},
+		N:             n,
+		Seed:          spec.Seed,
+		HangFactor:    spec.HangFactor,
+		Workers:       spec.Workers,
+		ClaimBatch:    spec.ClaimBatch,
+		Record:        spec.Record,
+		NoFusion:      spec.NoFusion,
+		NoCompile:     spec.NoCompile,
+		NoConverge:    spec.NoConverge,
+		NoAlignTrap:   spec.NoAlignTrap,
+		Classifier:    spec.Classifier,
+		FailurePolicy: spec.OnFailure,
+		Service:       spec.Service,
 	}).Run()
 	if err != nil {
 		return nil, err

@@ -142,8 +142,21 @@ func TestStandardTableI(t *testing.T) {
 }
 
 func TestOutcomeProperties(t *testing.T) {
-	if len(core.Outcomes()) != core.NumOutcomes {
+	// Outcomes() enumerates the paper's categories only: OutcomeInternal
+	// (runtime quarantine, not a §III-E classification) stays out.
+	if len(core.Outcomes()) != core.NumOutcomes-1 {
 		t.Fatal("outcome enumeration incomplete")
+	}
+	for _, o := range core.Outcomes() {
+		if o == core.OutcomeInternal {
+			t.Fatal("OutcomeInternal must not be a paper category")
+		}
+	}
+	if core.OutcomeInternal.ContributesToResilience() || core.OutcomeInternal.IsDetection() {
+		t.Error("quarantined experiments say nothing about the workload")
+	}
+	if core.OutcomeInternal.String() != "Internal" {
+		t.Errorf("OutcomeInternal renders as %q", core.OutcomeInternal)
 	}
 	for _, o := range core.Outcomes() {
 		if o == core.OutcomeSDC {

@@ -154,6 +154,12 @@ type Engine struct {
 	// its journals and memo entries never mix with differently
 	// classified ones.
 	Classifier Classifier
+	// FailurePolicy decides what happens to an experiment that fails or
+	// panics at every supervision tier (supervise.go): FailFast (default)
+	// aborts the run, Quarantine poisons the experiment and keeps
+	// draining. The choice folds into the campaign fingerprint only when
+	// non-default, so existing journals keep their content addresses.
+	FailurePolicy FailurePolicy
 	// Service, when set (and naming a journal or directory), turns the
 	// run into a durable campaign: experiments execute in journal shards
 	// with per-shard checkpoints, interrupted runs resume from the last
@@ -208,6 +214,11 @@ type EngineResult struct {
 	MemoHits int
 	// Experiments holds per-experiment records when Record is set.
 	Experiments []Experiment
+	// Quarantined holds the repro records of experiments poisoned under
+	// the Quarantine failure policy, sorted by experiment index. Their
+	// outcomes are tallied under OutcomeInternal; an empty slice is the
+	// healthy case.
+	Quarantined []QuarantineRecord
 }
 
 // memoVal is the fault-equivalence memo's payload: the outcome of the
@@ -321,6 +332,7 @@ func (e *Engine) Run() (*EngineResult, error) {
 		exps = make([]Experiment, n)
 	}
 	shards := make([]engineShard, workers)
+	ladder := e.ladder()
 	var (
 		next   atomic.Int64
 		failed atomic.Bool
@@ -351,10 +363,7 @@ func (e *Engine) Run() (*EngineResult, error) {
 					if failed.Load() || e.interrupted.Load() {
 						return
 					}
-					if h := experimentHook; h != nil {
-						h(i)
-					}
-					exp, st, err := e.runOne(uint64(i), memo, trace)
+					exp, st, quar, err := e.runSupervised(uint64(i), memo, trace, ladder)
 					if err != nil {
 						// Every worker's failure is collected: a grid-wide
 						// abort with several concurrent causes surfaces all
@@ -365,6 +374,9 @@ func (e *Engine) Run() (*EngineResult, error) {
 						errMu.Unlock()
 						failed.Store(true)
 						return
+					}
+					if quar != nil {
+						sh.Quarantined = append(sh.Quarantined, *quar)
 					}
 					sh.Add(&exp, st.converged, st.memoHit)
 					if exps != nil {
@@ -386,6 +398,9 @@ func (e *Engine) Run() (*EngineResult, error) {
 	for i := range shards {
 		res.Fold(&shards[i].ShardResult, 0)
 	}
+	// Per-worker shards accumulate quarantine records in claim order;
+	// sorting makes the folded result scheduling-independent.
+	sortQuarantined(res.Quarantined)
 	return res, nil
 }
 
@@ -461,6 +476,7 @@ func (e *Engine) runJournaled() (*EngineResult, error) {
 		workers = numShards
 	}
 
+	ladder := e.ladder()
 	var (
 		failed atomic.Bool
 		wg     sync.WaitGroup
@@ -500,6 +516,16 @@ func (e *Engine) runJournaled() (*EngineResult, error) {
 				if e.Record {
 					sr.Experiments = make([]Experiment, 0, hi-lo)
 				}
+				// Lease heartbeat: once ~TTL/3 has elapsed (jittered per
+				// shard and worker so co-renewing workers don't beat in
+				// sync), renew at the next experiment boundary. Slow shards
+				// — degraded-tier retries, -nocompile ablations, megapixel —
+				// then outlive the TTL without being stolen. Renewal is
+				// advisory like the lease itself: a failed renew means a
+				// peer may steal and duplicate the shard, which determinism
+				// plus idempotent checkpointing already make harmless.
+				leaseAt := time.Now()
+				renewAfter := ttl/3 + time.Duration(mixBytes(uint64(shard)+1, []byte(workerID))%uint64(ttl/6+1))
 				for i := lo; i < hi; i++ {
 					// An interrupt (or a peer's failure) abandons the shard
 					// without a checkpoint: a partial shard is never
@@ -507,13 +533,17 @@ func (e *Engine) runJournaled() (*EngineResult, error) {
 					if failed.Load() || e.interrupted.Load() {
 						return
 					}
-					if h := experimentHook; h != nil {
-						h(i)
+					if time.Since(leaseAt) >= renewAfter {
+						_ = j.Renew(workerID, shard, ttl)
+						leaseAt = time.Now()
 					}
-					exp, st, err := e.runOne(uint64(i), memo, trace)
+					exp, st, quar, err := e.runSupervised(uint64(i), memo, trace, ladder)
 					if err != nil {
 						fail(err)
 						return
+					}
+					if quar != nil {
+						sr.Quarantined = append(sr.Quarantined, *quar)
 					}
 					sr.Add(&exp, st.converged, st.memoHit)
 					if e.Record {
@@ -558,6 +588,9 @@ func (e *Engine) runJournaled() (*EngineResult, error) {
 	for _, sr := range results {
 		res.Fold(sr, sr.Shard*shardSize)
 	}
+	// Checkpoints fold in journal order; sort so the result matches the
+	// in-memory path bit for bit.
+	sortQuarantined(res.Quarantined)
 	return res, nil
 }
 
@@ -569,8 +602,10 @@ func (e *Engine) classifier() Classifier {
 	return e.Classifier
 }
 
-// runOne performs experiment idx.
-func (e *Engine) runOne(idx uint64, memo memoTable, trace *vm.GoldenTrace) (Experiment, expStats, error) {
+// runOne performs experiment idx at one supervision tier. Callers go
+// through runSupervised (supervise.go), which panic-isolates each
+// attempt and degrades the tier on failure.
+func (e *Engine) runOne(idx uint64, memo memoTable, trace *vm.GoldenTrace, ti tier) (Experiment, expStats, error) {
 	t := e.Target
 	rng := xrand.ForExperiment(e.Seed, idx)
 	inj := e.Model.Plan(t, idx, rng)
@@ -601,8 +636,8 @@ func (e *Engine) runOne(idx uint64, memo memoTable, trace *vm.GoldenTrace) (Expe
 		Plan:        inj.Plan,
 		MemFlips:    inj.MemFlips,
 		Resume:      inj.Resume,
-		NoFuse:      e.NoFusion,
-		NoCompile:   e.NoCompile,
+		NoFuse:      ti.noFuse,
+		NoCompile:   ti.noCompile,
 		Trace:       trace,
 		MemoCheck:   memoCheck,
 	})

@@ -15,6 +15,11 @@ var AutoClaimBatch = autoClaimBatch
 // MaxClaimBatch exposes the auto-tuner's upper clamp.
 const MaxClaimBatch = maxClaimBatch
 
+// FaultInjections exposes the process-wide injected-fault counter, so
+// fault-plan tests can assert non-vacuity (their schedule actually
+// fired).
+func FaultInjections() int64 { return faultsInjected.Load() }
+
 // EngineFingerprint exposes the campaign content address to the
 // classifier-identity tests.
 func EngineFingerprint(e *Engine) uint64 { return e.fingerprint() }

@@ -127,6 +127,12 @@ type ShardResult struct {
 	// Experiments holds the shard's per-experiment records, in index
 	// order, when the campaign records them (nil otherwise).
 	Experiments []Experiment `json:"exps,omitempty"`
+	// Quarantined holds the repro records of the shard's poisoned
+	// experiments (Quarantine failure policy), in index order. Omitted
+	// when empty, so journals written before the supervision layer
+	// existed — and the overwhelmingly common healthy shard — are
+	// unchanged on disk and load with zero quarantined.
+	Quarantined []QuarantineRecord `json:"quar,omitempty"`
 }
 
 // Add folds one experiment into the shard aggregate. converged and
@@ -170,6 +176,7 @@ func (r *EngineResult) Fold(s *ShardResult, lo int) {
 	r.ActivatedTotal += s.Activated
 	r.Converged += s.Converged
 	r.MemoHits += s.MemoHits
+	r.Quarantined = append(r.Quarantined, s.Quarantined...)
 	if r.Experiments != nil && len(s.Experiments) > 0 && lo >= 0 && lo+len(s.Experiments) <= len(r.Experiments) {
 		copy(r.Experiments[lo:], s.Experiments)
 	}
@@ -192,6 +199,10 @@ func (r *EngineResult) Merge(o *EngineResult) {
 	r.ActivatedTotal += o.ActivatedTotal
 	r.Converged += o.Converged
 	r.MemoHits += o.MemoHits
+	// Re-sorting after the append keeps Merge commutative for the
+	// quarantine records too (both sides cover disjoint indices).
+	r.Quarantined = append(r.Quarantined, o.Quarantined...)
+	sortQuarantined(r.Quarantined)
 	if r.Experiments != nil && len(o.Experiments) == len(r.Experiments) {
 		for i := range o.Experiments {
 			if o.Experiments[i].Outcome != 0 {
@@ -232,6 +243,26 @@ type CampaignStatus struct {
 	// Converged and MemoHits sum the early-exit counters over
 	// checkpointed shards.
 	Converged, MemoHits int
+	// Quarantined counts experiments poisoned under the Quarantine
+	// failure policy across checkpointed shards.
+	Quarantined int
+	// Leases lists the live leases on incomplete shards — who is running
+	// what, and for how much longer — in shard order. len(Leases) ==
+	// Leased.
+	Leases []LeaseInfo
+}
+
+// LeaseInfo describes one live shard lease in a status snapshot. For
+// leases restored from journal records (other processes' workers) the
+// remaining time is wall-clock arithmetic including the skew grace
+// margin, so it can exceed the TTL by up to that margin.
+type LeaseInfo struct {
+	// Shard is the leased shard's index.
+	Shard int
+	// Worker is the lease holder's worker ID.
+	Worker string
+	// Remaining is the time until the lease may be stolen.
+	Remaining time.Duration
 }
 
 // Journal records a campaign's durable state: its identity, shard leases
@@ -249,6 +280,13 @@ type Journal interface {
 	// Claim leases one incomplete shard to worker for ttl, preferring
 	// unleased shards and stealing expired leases (lowest index first).
 	Claim(worker string, ttl time.Duration) (shard int, state ClaimState, err error)
+	// Renew extends worker's live lease on shard by ttl from now: the
+	// heartbeat a worker sends at experiment boundaries so a shard slower
+	// than the TTL is not stolen mid-run. A renewal that no longer
+	// applies — the shard completed, or the lease expired and was stolen
+	// — is dropped without error: like the lease itself, renewal is
+	// advisory and never guards correctness.
+	Renew(worker string, shard int, ttl time.Duration) error
 	// Checkpoint records a completed shard. The first checkpoint per
 	// shard is accepted; later ones are dropped without error (shard
 	// results are deterministic, so duplicates are identical).
@@ -329,12 +367,13 @@ func (st *journalState) applyLease(shard int, worker string, exp time.Time, loca
 	sh.leaseLocal = local
 }
 
-// leaseLive reports whether the shard's lease holds at now: exact for
-// leases this process stamped, stretched by the skew grace margin for
-// leases restored from journal records.
-func (st *journalState) leaseLive(sh *shardState, now time.Time) bool {
+// leaseDeadline returns the instant the shard's lease may be stolen:
+// the stamped expiry, stretched by the skew grace margin for leases
+// restored from journal records (wall-clock only). The zero time means
+// no lease.
+func (st *journalState) leaseDeadline(sh *shardState) time.Time {
 	if sh.leaseWorker == "" {
-		return false
+		return time.Time{}
 	}
 	exp := sh.leaseExp
 	if !sh.leaseLocal {
@@ -346,7 +385,26 @@ func (st *journalState) leaseLive(sh *shardState, now time.Time) bool {
 			exp = exp.Add(grace)
 		}
 	}
-	return exp.After(now)
+	return exp
+}
+
+// leaseLive reports whether the shard's lease holds at now: exact for
+// leases this process stamped, stretched by the skew grace margin for
+// leases restored from journal records.
+func (st *journalState) leaseLive(sh *shardState, now time.Time) bool {
+	return st.leaseDeadline(sh).After(now)
+}
+
+// renewable reports whether worker may extend its lease on shard: the
+// shard is still incomplete and the worker still holds a live lease on
+// it. A renewal after a steal or a completion must be dropped — it would
+// stomp the thief's lease or waste a record on a done shard.
+func (st *journalState) renewable(shard int, worker string) bool {
+	if !st.bound || shard < 0 || shard >= len(st.shards) {
+		return false
+	}
+	sh := &st.shards[shard]
+	return sh.res == nil && sh.leaseWorker == worker && st.leaseLive(sh, st.now())
 }
 
 // applyDone accepts a shard checkpoint unless the shard already has one
@@ -427,8 +485,14 @@ func (st *journalState) status() CampaignStatus {
 			s.Tally.Merge(&sh.res.Tally)
 			s.Converged += sh.res.Converged
 			s.MemoHits += sh.res.MemoHits
+			s.Quarantined += len(sh.res.Quarantined)
 		case st.leaseLive(sh, now):
 			s.Leased++
+			s.Leases = append(s.Leases, LeaseInfo{
+				Shard:     i,
+				Worker:    sh.leaseWorker,
+				Remaining: st.leaseDeadline(sh).Sub(now),
+			})
 		default:
 			s.Pending++
 		}
@@ -468,6 +532,16 @@ func (j *MemJournal) Claim(worker string, ttl time.Duration) (int, ClaimState, e
 		j.st.applyLease(shard, worker, j.st.now().Add(ttl), true)
 	}
 	return shard, state, nil
+}
+
+// Renew implements Journal.
+func (j *MemJournal) Renew(worker string, shard int, ttl time.Duration) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.st.renewable(shard, worker) {
+		j.st.applyLease(shard, worker, j.st.now().Add(ttl), true)
+	}
+	return nil
 }
 
 // Checkpoint implements Journal.

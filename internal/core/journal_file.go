@@ -41,7 +41,20 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"multiflip/internal/xrand"
 )
+
+// journalIO is the file surface FileJournal actually uses. *os.File
+// implements it directly; FaultFile (faultjournal.go) wraps one to
+// inject deterministic I/O failures for the robustness tests and the
+// chaos CI job.
+type journalIO interface {
+	io.ReaderAt
+	io.Writer
+	Sync() error
+	Close() error
+}
 
 // encodeLine frames one record payload: 8 hex digits of CRC-32, a
 // space, the payload, '\n'. The journal and the shared memo use the same
@@ -97,14 +110,18 @@ type journalRecord struct {
 // by worker processes.
 type FileJournal struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    journalIO
 	path string
 	// readOff is how far absorb has consumed the file; pending buffers a
 	// trailing partial line until the rest of it lands.
 	readOff int64
 	pending []byte
 	sync    bool
-	st      journalState
+	// rng drives the append-retry backoff jitter (nil degrades to a fixed
+	// half-backoff). Deliberately not part of the campaign's deterministic
+	// random streams: retry timing never influences results.
+	rng *xrand.Rand
+	st  journalState
 }
 
 // FileJournalOptions configures OpenFileJournalOpts.
@@ -119,6 +136,11 @@ type FileJournalOptions struct {
 	// written by other processes (0 = DefaultLeaseGrace, negative =
 	// none). See DefaultLeaseTTL for the cross-process clock contract.
 	LeaseGrace time.Duration
+	// Fault, when set, wraps the journal file in a FaultFile injecting
+	// the plan's deterministic I/O failure schedule (tests, chaos CI).
+	// Nil falls back to the MULTIFLIP_JOURNAL_FAULTS environment plan, if
+	// any.
+	Fault *FaultPlan
 }
 
 // OpenFileJournal opens (creating if needed) a journal file and absorbs
@@ -146,10 +168,19 @@ func OpenFileJournalOpts(path string, opts FileJournalOptions) (*FileJournal, er
 			return nil, err
 		}
 	}
-	j := &FileJournal{f: f, path: path, sync: opts.Sync,
-		st: journalState{now: time.Now, grace: opts.LeaseGrace}}
+	var fio journalIO = f
+	fault := opts.Fault
+	if fault == nil {
+		fault = envFaultPlan
+	}
+	if fault != nil {
+		fio = NewFaultFile(f, fault)
+	}
+	j := &FileJournal{f: fio, path: path, sync: opts.Sync,
+		rng: xrand.New(uint64(time.Now().UnixNano())),
+		st:  journalState{now: time.Now, grace: opts.LeaseGrace}}
 	if err := j.absorbLocked(); err != nil {
-		f.Close()
+		fio.Close()
 		return nil, err
 	}
 	return j, nil
@@ -198,7 +229,7 @@ func (j *FileJournal) absorbLocked() error {
 			break
 		}
 		if err != nil {
-			return fmt.Errorf("core: read journal: %w", err)
+			return j.wrapErr("read journal", err)
 		}
 	}
 	for {
@@ -244,18 +275,76 @@ func (j *FileJournal) applyLine(line []byte) {
 	}
 }
 
-// appendLocked writes one record with a single O_APPEND write. Callers
-// hold j.mu. The write advances readOff past our own record so absorb
-// does not re-parse it; the record is applied by the caller.
-func (j *FileJournal) appendLocked(rec *journalRecord) error {
+// appendAttempts bounds the append retry loop: transient I/O errors
+// (ENOSPC racing a cleaner, EIO blips, short writes) get a handful of
+// backed-off re-issues before the campaign gives up.
+const appendAttempts = 6
+
+// appendBackoff{Base,Cap} shape the retry backoff: exponential from
+// Base, capped at Cap, jittered to [d/2, d). Variables, not constants,
+// so the fault-injection tests can shrink them.
+var (
+	appendBackoffBase = 2 * time.Millisecond
+	appendBackoffCap  = 250 * time.Millisecond
+)
+
+// appendLocked writes one record with a single O_APPEND write, retrying
+// transient failures with jittered exponential backoff. durable also
+// fsyncs (in sync mode) before the append counts as done. After ANY
+// failure — a write error, a short write, a failed fsync — the record's
+// durability is unknown, so the whole framed line is re-issued, never
+// assumed written: a short first write leaves torn debris the loader
+// skips, and a complete-but-unacknowledged one a duplicate the
+// record-application layer already drops. Callers hold j.mu and apply
+// the record after the append succeeds.
+func (j *FileJournal) appendLocked(rec *journalRecord, durable bool) error {
 	payload, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("core: encode journal record: %w", err)
+		return j.wrapErr("encode journal record", err)
 	}
-	if _, err := j.f.Write(encodeLine(payload)); err != nil {
-		return fmt.Errorf("core: append journal record: %w", err)
+	line := encodeLine(payload)
+	backoff := appendBackoffBase
+	var last error
+	for attempt := 0; attempt < appendAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(j.jitter(backoff))
+			if backoff *= 2; backoff > appendBackoffCap {
+				backoff = appendBackoffCap
+			}
+		}
+		if _, err := j.f.Write(line); err != nil {
+			last = err
+			continue
+		}
+		if durable && j.sync {
+			if err := j.f.Sync(); err != nil {
+				last = err
+				continue
+			}
+		}
+		return nil
 	}
-	return nil
+	return j.wrapErr("append journal record", last)
+}
+
+// jitter spreads a backoff delay over [d/2, d) so retrying workers
+// sharing a stressed filesystem don't beat in sync.
+func (j *FileJournal) jitter(d time.Duration) time.Duration {
+	half := d / 2
+	if j.rng == nil || half <= 0 {
+		return half
+	}
+	return half + time.Duration(j.rng.Uint64n(uint64(half)))
+}
+
+// wrapErr labels a journal error with the campaign fingerprint and file
+// path, so a failed multi-process drain names which campaign file broke.
+func (j *FileJournal) wrapErr(op string, err error) error {
+	if j.st.bound {
+		return fmt.Errorf("core: campaign %016x journal %s: %s: %w",
+			j.st.meta.Fingerprint, j.path, op, err)
+	}
+	return fmt.Errorf("core: journal %s: %s: %w", j.path, op, err)
 }
 
 // Bind implements Journal: absorb the file, then install or validate the
@@ -271,22 +360,7 @@ func (j *FileJournal) Bind(meta CampaignMeta) error {
 		return err
 	}
 	if !hadMeta {
-		if err := j.appendLocked(&journalRecord{T: "meta", Meta: &meta}); err != nil {
-			return err
-		}
-		return j.syncLocked()
-	}
-	return nil
-}
-
-// syncLocked fsyncs the journal file when the sync mode is on. Callers
-// hold j.mu.
-func (j *FileJournal) syncLocked() error {
-	if !j.sync {
-		return nil
-	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("core: sync journal: %w", err)
+		return j.appendLocked(&journalRecord{T: "meta", Meta: &meta}, true)
 	}
 	return nil
 }
@@ -307,11 +381,33 @@ func (j *FileJournal) Claim(worker string, ttl time.Duration) (int, ClaimState, 
 	// leases are advisory, and losing one to a crash only lets a peer
 	// start the shard sooner.
 	exp := j.st.now().Add(ttl)
-	if err := j.appendLocked(&journalRecord{T: "lease", Shard: shard, Worker: worker, Exp: exp.UnixMilli()}); err != nil {
+	if err := j.appendLocked(&journalRecord{T: "lease", Shard: shard, Worker: worker, Exp: exp.UnixMilli()}, false); err != nil {
 		return 0, ClaimWait, err
 	}
 	j.st.applyLease(shard, worker, exp, true)
 	return shard, ClaimOK, nil
+}
+
+// Renew implements Journal: the lease heartbeat. The renewal re-uses the
+// lease-append path (and, on re-read, the same own-echo suppression), is
+// never fsynced, and is dropped without error when it no longer applies
+// — the shard completed, or the lease expired and a peer stole it, in
+// which case extending it would stomp the thief's claim.
+func (j *FileJournal) Renew(worker string, shard int, ttl time.Duration) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.absorbLocked(); err != nil {
+		return err
+	}
+	if !j.st.renewable(shard, worker) {
+		return nil
+	}
+	exp := j.st.now().Add(ttl)
+	if err := j.appendLocked(&journalRecord{T: "lease", Shard: shard, Worker: worker, Exp: exp.UnixMilli()}, false); err != nil {
+		return err
+	}
+	j.st.applyLease(shard, worker, exp, true)
+	return nil
 }
 
 // Checkpoint implements Journal. A shard that is already checkpointed —
@@ -329,10 +425,7 @@ func (j *FileJournal) Checkpoint(res ShardResult) error {
 	if j.st.shards[res.Shard].res != nil {
 		return nil
 	}
-	if err := j.appendLocked(&journalRecord{T: "done", Shard: res.Shard, Res: &res}); err != nil {
-		return err
-	}
-	if err := j.syncLocked(); err != nil {
+	if err := j.appendLocked(&journalRecord{T: "done", Shard: res.Shard, Res: &res}, true); err != nil {
 		return err
 	}
 	j.st.applyDone(&res)

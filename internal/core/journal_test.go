@@ -7,7 +7,10 @@ package core_test
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -76,6 +79,16 @@ func sameResult(t *testing.T, label string, want, got *core.EngineResult, wantEa
 		if want.Experiments[i] != got.Experiments[i] {
 			t.Fatalf("%s: experiment %d differs: %+v vs %+v",
 				label, i, want.Experiments[i], got.Experiments[i])
+		}
+	}
+	if len(want.Quarantined) != len(got.Quarantined) {
+		t.Fatalf("%s: quarantine counts differ: %d vs %d",
+			label, len(want.Quarantined), len(got.Quarantined))
+	}
+	for i := range want.Quarantined {
+		if !reflect.DeepEqual(want.Quarantined[i], got.Quarantined[i]) {
+			t.Fatalf("%s: quarantine record %d differs: %+v vs %+v",
+				label, i, want.Quarantined[i], got.Quarantined[i])
 		}
 	}
 }
@@ -347,5 +360,111 @@ func TestCampaignStatusMidFlight(t *testing.T) {
 	}
 	if st.Done != st.Shards || st.ExperimentsDone != n {
 		t.Errorf("final status %+v", st)
+	}
+}
+
+// TestLeaseHeartbeatOutlivesTTL is the heartbeat acceptance test: a
+// shard whose wall-clock time far exceeds the lease TTL completes
+// without being stolen, because the worker renews its lease at
+// experiment boundaries. A thief polling the same journal (with the
+// cross-process skew grace disabled, so expiries are judged exactly)
+// must never win a claim before the campaign drains.
+func TestLeaseHeartbeatOutlivesTTL(t *testing.T) {
+	const (
+		n   = 20
+		ttl = 800 * time.Millisecond
+	)
+	tg := target(t, "CRC32")
+	baseline := baselineRun(t, tg, n, false)
+
+	dir := t.TempDir()
+	eng := registerEngine(tg)
+	eng.N = n
+	eng.Seed = 11
+	eng.Record = true
+	eng.Workers = 1
+	eng.Service = &core.Service{
+		Dir:       dir,
+		ShardSize: n, // one shard: its runtime (~n * 50ms) dwarfs the TTL
+		LeaseTTL:  ttl,
+		WorkerID:  "slowpoke",
+	}
+	// Each experiment dawdles 50ms, so the single shard takes ~1s
+	// against an 800ms TTL: without heartbeats its lease would lapse
+	// mid-shard.
+	restore := core.SetExperimentHook(func(idx int) {
+		time.Sleep(50 * time.Millisecond)
+	})
+	defer restore()
+
+	var (
+		steals  atomic.Int64
+		thiefWg sync.WaitGroup
+		done    = make(chan struct{})
+	)
+	thiefWg.Add(1)
+	go func() {
+		defer thiefWg.Done()
+		// Wait for the campaign journal to exist, then poll for a steal.
+		var path string
+		for i := 0; i < 100 && path == ""; i++ {
+			if paths, _ := filepath.Glob(filepath.Join(dir, "campaign-*.mfj")); len(paths) > 0 {
+				path = paths[0]
+			} else {
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+		if path == "" {
+			return
+		}
+		j, err := core.OpenFileJournalOpts(path, core.FileJournalOptions{LeaseGrace: -1})
+		if err != nil {
+			return
+		}
+		defer j.Close()
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(25 * time.Millisecond):
+			}
+			_, state, err := j.Claim("thief", ttl)
+			if err != nil {
+				continue
+			}
+			if state == core.ClaimOK {
+				steals.Add(1)
+			}
+			if state == core.ClaimDrained {
+				return
+			}
+		}
+	}()
+
+	res, err := eng.Run()
+	close(done)
+	thiefWg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := steals.Load(); got != 0 {
+		t.Fatalf("thief stole a heartbeat-protected lease %d times", got)
+	}
+	sameResult(t, "heartbeat-protected shard", baseline, res, false)
+
+	// Non-vacuity: the journal must hold the initial claim plus at least
+	// one renewal — the shard's ~1s runtime crosses the ~TTL/3 renewal
+	// threshold several times.
+	paths, err := filepath.Glob(filepath.Join(dir, "campaign-*.mfj"))
+	if err != nil || len(paths) != 1 {
+		t.Fatalf("want one campaign journal, got %v (%v)", paths, err)
+	}
+	raw, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	leases := strings.Count(string(raw), `"t":"lease"`)
+	if leases < 2 {
+		t.Fatalf("journal holds %d lease records; want the claim plus at least one heartbeat renewal", leases)
 	}
 }

@@ -111,3 +111,111 @@ func TestLeaseIgnoredOnCheckpointedShard(t *testing.T) {
 		t.Fatal("checkpointed shard reports a live lease")
 	}
 }
+
+// TestRenewableGuards pins every condition under which a heartbeat must
+// be dropped: a renewal may only extend a live lease the same worker
+// still holds on an incomplete, in-range shard. Anything else would
+// stomp a thief's claim or waste a record.
+func TestRenewableGuards(t *testing.T) {
+	now := time.Now()
+	st := leaseState(t, 0)
+	if st.renewable(0, "w1") {
+		t.Fatal("renewable with no lease at all")
+	}
+	st.applyLease(0, "w1", now.Add(time.Hour), true)
+	if !st.renewable(0, "w1") {
+		t.Fatal("own live lease not renewable")
+	}
+	if st.renewable(0, "w2") {
+		t.Fatal("another worker's lease renewable")
+	}
+	if st.renewable(-1, "w1") || st.renewable(len(st.shards), "w1") {
+		t.Fatal("out-of-range shard renewable")
+	}
+
+	// Expired lease: the shard is up for stealing; extending it now
+	// would race the thief.
+	st2 := leaseState(t, 0)
+	st2.applyLease(0, "w1", now.Add(-time.Second), true)
+	if st2.renewable(0, "w1") {
+		t.Fatal("expired lease renewable")
+	}
+
+	// Checkpointed shard: nothing left to protect.
+	st3 := leaseState(t, 0)
+	st3.applyLease(0, "w1", now.Add(time.Hour), true)
+	st3.shards[0].res = &ShardResult{Shard: 0}
+	if st3.renewable(0, "w1") {
+		t.Fatal("checkpointed shard renewable")
+	}
+
+	// Stolen lease: a peer's absorbed record replaced ours mid-shard;
+	// our next heartbeat must drop.
+	st4 := leaseState(t, 0)
+	st4.applyLease(0, "w1", now.Add(time.Hour), true)
+	st4.applyLease(0, "thief", now.Add(2*time.Hour), false)
+	if st4.renewable(0, "w1") {
+		t.Fatal("stolen lease still renewable by the original holder")
+	}
+	if !st4.renewable(0, "thief") {
+		t.Fatal("thief cannot renew the lease it now holds")
+	}
+}
+
+// TestMemJournalRenewExtendsLease drives the heartbeat protocol on a
+// fake clock: a renewal pushes the expiry forward so the shard survives
+// past the original TTL, a missed renewal lets a peer steal it, and a
+// stale holder's renewal after the steal is a silent no-op.
+func TestMemJournalRenewExtendsLease(t *testing.T) {
+	base := time.Now()
+	cur := base
+	j := &MemJournal{st: journalState{now: func() time.Time { return cur }}}
+	if err := j.Bind(CampaignMeta{Model: "t", N: 8, ShardSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	const ttl = time.Second
+
+	shard, state, err := j.Claim("w1", ttl)
+	if err != nil || state != ClaimOK || shard != 0 {
+		t.Fatalf("claim: %d, %v, %v", shard, state, err)
+	}
+
+	// Renew at 900ms: the lease now runs to 1.9s.
+	cur = base.Add(900 * time.Millisecond)
+	if err := j.Renew("w1", 0, ttl); err != nil {
+		t.Fatal(err)
+	}
+
+	// At 1.5s — past the original expiry — shard 0 must NOT be
+	// stealable; a peer gets the other shard instead.
+	cur = base.Add(1500 * time.Millisecond)
+	shard, state, err = j.Claim("w2", ttl)
+	if err != nil || state != ClaimOK {
+		t.Fatalf("peer claim: %v, %v", state, err)
+	}
+	if shard == 0 {
+		t.Fatal("renewed lease was stolen before its extended expiry")
+	}
+
+	// At 2s the renewed lease (1.9s) lapsed without another heartbeat:
+	// now the steal is legitimate.
+	cur = base.Add(2 * time.Second)
+	shard, state, err = j.Claim("w3", ttl)
+	if err != nil || state != ClaimOK || shard != 0 {
+		t.Fatalf("steal after lapsed renewal: %d, %v, %v", shard, state, err)
+	}
+
+	// The original holder's late heartbeat must not stomp the thief.
+	if err := j.Renew("w1", 0, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	status, err := j.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range status.Leases {
+		if l.Shard == 0 && l.Worker != "w3" {
+			t.Fatalf("shard 0 leased by %q, want the thief w3", l.Worker)
+		}
+	}
+}

@@ -205,11 +205,23 @@ const (
 	// indication — silent data corruption.
 	OutcomeSDC
 
+	// OutcomeInternal: the experiment itself could not be executed — it
+	// failed or panicked at every supervision tier — and was quarantined
+	// by the Quarantine failure policy (supervise.go). Not a paper
+	// category: Outcomes() excludes it, the study tables never show it
+	// unless it occurred, and quarantined experiments say nothing about
+	// the workload's resilience (they inflate Tally.N, so percentage
+	// statistics on a quarantine-bearing campaign are lower bounds).
+	OutcomeInternal
+
 	// NumOutcomes is the number of categories.
-	NumOutcomes = 5
+	NumOutcomes = 6
 )
 
-// Outcomes lists all categories in presentation order.
+// Outcomes lists the paper's categories in presentation order.
+// OutcomeInternal is deliberately absent: it marks experiments the
+// runtime quarantined, not a §III-E classification, and renderers
+// surface it separately and only when present.
 func Outcomes() []Outcome {
 	return []Outcome{OutcomeBenign, OutcomeException, OutcomeHang, OutcomeNoOutput, OutcomeSDC}
 }
@@ -227,13 +239,19 @@ func (o Outcome) String() string {
 		return "NoOutput"
 	case OutcomeSDC:
 		return "SDC"
+	case OutcomeInternal:
+		return "Internal"
 	}
 	return fmt.Sprintf("Outcome(%d)", int(o))
 }
 
 // ContributesToResilience reports whether the category counts toward error
-// resilience (everything except SDC, §II-B).
-func (o Outcome) ContributesToResilience() bool { return o != OutcomeSDC }
+// resilience (everything except SDC, §II-B). Quarantined experiments
+// (OutcomeInternal) say nothing about the workload and count toward
+// neither side.
+func (o Outcome) ContributesToResilience() bool {
+	return o != OutcomeSDC && o != OutcomeInternal
+}
 
 // IsDetection reports whether the category belongs to the paper's
 // aggregated Detection class (HWException + Hang + NoOutput).

@@ -73,6 +73,12 @@ type Service struct {
 	// log tail, which deterministic shard re-execution repairs on the
 	// next resume at the cost of duplicate work.
 	Sync bool
+	// Fault, when set, injects a deterministic I/O failure schedule into
+	// the campaign journal (FaultFile) — the robustness-test and chaos-CI
+	// knob. Nil falls back to the MULTIFLIP_JOURNAL_FAULTS environment
+	// plan, if any. Injected faults never change campaign results, only
+	// exercise the retry and recovery paths.
+	Fault *FaultPlan
 }
 
 // active reports whether the service routes campaigns through a journal.
@@ -96,7 +102,7 @@ func (s *Service) journalFor(e *Engine) (Journal, bool, error) {
 			return nil, false, fmt.Errorf("core: reset journal: %w", err)
 		}
 	}
-	j, err := OpenFileJournalOpts(path, FileJournalOptions{Sync: s.Sync, LeaseGrace: s.LeaseGrace})
+	j, err := OpenFileJournalOpts(path, FileJournalOptions{Sync: s.Sync, LeaseGrace: s.LeaseGrace, Fault: s.Fault})
 	if err != nil {
 		return nil, false, err
 	}
@@ -195,6 +201,14 @@ func (e *Engine) fingerprint() uint64 {
 	h = mix(h, e.Seed)
 	h = mix(h, b2u(e.Record))
 	h = mix(h, b2u(e.NoConverge))
+	// The failure policy folds in only when non-default: FailFast
+	// campaigns — every journal written before the policy existed — keep
+	// their content addresses, while a Quarantine campaign (whose stored
+	// checkpoints may carry poisoned experiments) never resumes into a
+	// FailFast journal or vice versa.
+	if e.FailurePolicy != FailFast {
+		h = mixBytes(h, []byte("onfail="+e.FailurePolicy.String()))
+	}
 	return h
 }
 

@@ -59,6 +59,10 @@ type StuckAtSpec struct {
 	// Classifier judges golden-vs-actual output when classifying
 	// outcomes (nil = ExactClassifier).
 	Classifier Classifier
+	// OnFailure decides what happens to an experiment that fails or
+	// panics at every supervision tier (FailFast aborts, Quarantine
+	// poisons and keeps draining).
+	OnFailure FailurePolicy
 	// Service, when set (and naming a journal or directory), runs the
 	// campaign as a durable job (see core.Service).
 	Service *Service
@@ -176,18 +180,19 @@ func RunStuckAt(spec StuckAtSpec) (*StuckAtResult, error) {
 		return nil, fmt.Errorf("core: stuck-at campaign needs N > 0")
 	}
 	er, err := (&Engine{
-		Target:     spec.Target,
-		Model:      &StuckAtModel{Spec: &spec},
-		N:          spec.N,
-		Seed:       spec.Seed,
-		HangFactor: spec.HangFactor,
-		Workers:    spec.Workers,
-		Record:     spec.Record,
-		NoFusion:   spec.NoFusion,
-		NoCompile:  spec.NoCompile,
-		NoConverge: spec.NoConverge,
-		Classifier: spec.Classifier,
-		Service:    spec.Service,
+		Target:        spec.Target,
+		Model:         &StuckAtModel{Spec: &spec},
+		N:             spec.N,
+		Seed:          spec.Seed,
+		HangFactor:    spec.HangFactor,
+		Workers:       spec.Workers,
+		Record:        spec.Record,
+		NoFusion:      spec.NoFusion,
+		NoCompile:     spec.NoCompile,
+		NoConverge:    spec.NoConverge,
+		Classifier:    spec.Classifier,
+		FailurePolicy: spec.OnFailure,
+		Service:       spec.Service,
 	}).Run()
 	if err != nil {
 		return nil, err

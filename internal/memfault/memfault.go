@@ -68,6 +68,10 @@ type Spec struct {
 	// Classifier judges golden-vs-actual output when classifying
 	// outcomes (nil = core.ExactClassifier).
 	Classifier core.Classifier
+	// OnFailure decides what happens to an experiment that fails or
+	// panics at every supervision tier (core.FailFast aborts,
+	// core.Quarantine poisons and keeps draining).
+	OnFailure core.FailurePolicy
 	// Service, when set (and naming a journal or directory), runs the
 	// campaign as a durable job (see core.Service).
 	Service *core.Service
@@ -103,6 +107,9 @@ type Result struct {
 	MemoHits int
 	// Outcomes holds per-experiment outcomes when Spec.Record is set.
 	Outcomes []core.Outcome
+	// Quarantined holds the repro records of experiments poisoned under
+	// the Quarantine failure policy (empty is the healthy case).
+	Quarantined []core.QuarantineRecord
 }
 
 // Model is the memory-word fault class expressed as an engine FaultModel:
@@ -166,27 +173,29 @@ func Run(spec Spec) (*Result, error) {
 		return nil, err
 	}
 	er, err := (&core.Engine{
-		Target:     spec.Target,
-		Model:      &Model{Spec: &spec},
-		N:          spec.N,
-		Seed:       spec.Seed,
-		HangFactor: spec.HangFactor,
-		Workers:    spec.Workers,
-		Record:     spec.Record,
-		NoFusion:   spec.NoFusion,
-		NoCompile:  spec.NoCompile,
-		NoConverge: spec.NoConverge,
-		Classifier: spec.Classifier,
-		Service:    spec.Service,
+		Target:        spec.Target,
+		Model:         &Model{Spec: &spec},
+		N:             spec.N,
+		Seed:          spec.Seed,
+		HangFactor:    spec.HangFactor,
+		Workers:       spec.Workers,
+		Record:        spec.Record,
+		NoFusion:      spec.NoFusion,
+		NoCompile:     spec.NoCompile,
+		NoConverge:    spec.NoConverge,
+		Classifier:    spec.Classifier,
+		FailurePolicy: spec.OnFailure,
+		Service:       spec.Service,
 	}).Run()
 	if err != nil {
 		return nil, err
 	}
 	r := &Result{
-		Spec:      spec,
-		Tally:     er.Tally,
-		Converged: er.Converged,
-		MemoHits:  er.MemoHits,
+		Spec:        spec,
+		Tally:       er.Tally,
+		Converged:   er.Converged,
+		MemoHits:    er.MemoHits,
+		Quarantined: er.Quarantined,
 	}
 	if spec.Record {
 		r.Outcomes = make([]core.Outcome, len(er.Experiments))

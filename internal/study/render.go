@@ -58,7 +58,14 @@ func (s *Study) Tables(withTransitions bool) ([]*report.Table, error) {
 	if !s.Opts.NoStuckAt {
 		tables = append(tables, s.StuckAtTable())
 	}
-	return append(tables, s.PruningDividend(), s.EarlyExit(), s.Answers(trans)), nil
+	tables = append(tables, s.PruningDividend(), s.EarlyExit(), s.Answers(trans))
+	// The quarantine table renders only when quarantines happened, so a
+	// healthy study's output is byte-identical to builds that predate the
+	// supervision layer.
+	if rows := s.quarantined(); len(rows) > 0 {
+		tables = append(tables, s.QuarantineTable(rows))
+	}
+	return tables, nil
 }
 
 // RenderAll writes every table and figure to w.

@@ -60,6 +60,12 @@ type Options struct {
 	// study (nil = core.ExactClassifier). Non-default classifiers journal
 	// under their own campaign fingerprints.
 	Classifier core.Classifier
+	// OnFailure decides what happens to an experiment that fails or
+	// panics at every supervision tier, in every campaign of the study:
+	// core.FailFast (default) aborts, core.Quarantine poisons the
+	// experiment and keeps draining (quarantined experiments then render
+	// in their own table).
+	OnFailure core.FailurePolicy
 	// JournalDir, when set, runs every campaign as a durable journaled
 	// job under this directory: campaigns checkpoint per shard, a killed
 	// study resumes from its last checkpoints (with Resume), and
@@ -215,6 +221,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 			NoConverge:  opts.NoConverge,
 			NoCompile:   opts.NoCompile,
 			Classifier:  opts.Classifier,
+			OnFailure:   opts.OnFailure,
 			Service:     svc,
 		})
 		if err != nil {
@@ -236,6 +243,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 					NoConverge:  opts.NoConverge,
 					NoCompile:   opts.NoCompile,
 					Classifier:  opts.Classifier,
+					OnFailure:   opts.OnFailure,
 					Service:     svc,
 				})
 				if err != nil {
@@ -262,6 +270,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 		NoConverge:  opts.NoConverge,
 		NoCompile:   opts.NoCompile,
 		Classifier:  opts.Classifier,
+		OnFailure:   opts.OnFailure,
 		Service:     svc,
 	})
 	if err != nil {

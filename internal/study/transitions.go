@@ -72,6 +72,7 @@ func (s *Study) runTransitions() (map[string]map[core.Technique]*TransitionResul
 				NoSnapshots: s.Opts.NoSnapshots,
 				NoConverge:  s.Opts.NoConverge,
 				NoCompile:   s.Opts.NoCompile,
+				OnFailure:   s.Opts.OnFailure,
 				Service:     s.Opts.service(),
 			})
 			if err != nil {
