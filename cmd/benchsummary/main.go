@@ -1,0 +1,152 @@
+// Command benchsummary turns `go test -bench` text output into a
+// machine-readable JSON summary, so benchmark runs can be archived,
+// diffed and plotted without scraping the human-oriented format.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . . | benchsummary -o BENCH.json
+//	benchsummary -o BENCH.json bench.txt
+//
+// Every benchmark line contributes one entry with its iteration count
+// and every reported metric — the standard ns/op (and B/op, allocs/op
+// under -benchmem) as well as custom b.ReportMetric units such as
+// experiments/s or pruned%. The environment lines (goos, goarch, cpu,
+// pkg) are carried through as context.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Summary is the JSON document: the benchmark environment plus one entry
+// per benchmark result line, in input order.
+type Summary struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one result line: `BenchmarkX/sub-8  20  123 ns/op  45 u/s`.
+type Benchmark struct {
+	// Name is the benchmark path with the trailing -GOMAXPROCS suffix
+	// stripped ("BenchmarkCampaignLiveness/qsort/inject-on-read/live").
+	Name string `json:"name"`
+	// Package is the Go package the benchmark ran in (from `pkg:`).
+	Package string `json:"package,omitempty"`
+	// Iterations is b.N for the reported timing.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every "value unit" pair on the
+	// line, e.g. {"ns/op": 123, "experiments/s": 45000}.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (empty = stdout)")
+	flag.Parse()
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "benchsummary: at most one input file")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsummary:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(in, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsummary:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out string) error {
+	sum, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(sum.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines in input")
+	}
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// parse scans -bench output. Unrecognized lines (test chatter, PASS/ok
+// trailers) are skipped, so the full `go test` stream can be piped in.
+func parse(in io.Reader) (*Summary, error) {
+	sum := &Summary{Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			sum.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			sum.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			sum.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if !ok {
+				continue
+			}
+			b.Package = pkg
+			sum.Benchmarks = append(sum.Benchmarks, b)
+		}
+	}
+	return sum, sc.Err()
+}
+
+// parseLine splits one result line into name, iterations and the
+// (value, unit) metric pairs that follow.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	// Name, iterations, and at least one "value unit" pair.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix the harness appends ("...-8").
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: multiflip
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCampaignSnapshot-8   	     100	   2904950 ns/op	     68858 experiments/s
+BenchmarkCampaignLiveness/CRC32/inject-on-read/live-8  	      50	   2462026 ns/op	     81249 experiments/s	        16.00 pruned%
+BenchmarkVMGoldenRun/CRC32-8  	     300	    812345 ns/op	       42.50 Minstr/s
+PASS
+ok  	multiflip	0.082s
+`
+
+func TestParse(t *testing.T) {
+	sum, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.GOOS != "linux" || sum.GOARCH != "amd64" || !strings.Contains(sum.CPU, "Xeon") {
+		t.Fatalf("environment not captured: %+v", sum)
+	}
+	if len(sum.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(sum.Benchmarks))
+	}
+	b := sum.Benchmarks[1]
+	if b.Name != "BenchmarkCampaignLiveness/CRC32/inject-on-read/live" {
+		t.Errorf("name = %q (GOMAXPROCS suffix not stripped?)", b.Name)
+	}
+	if b.Package != "multiflip" {
+		t.Errorf("package = %q", b.Package)
+	}
+	if b.Iterations != 50 {
+		t.Errorf("iterations = %d", b.Iterations)
+	}
+	want := map[string]float64{"ns/op": 2462026, "experiments/s": 81249, "pruned%": 16}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Errorf("metric %s = %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+	if len(b.Metrics) != len(want) {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+}
+
+func TestParseSkipsChatter(t *testing.T) {
+	sum, err := parse(strings.NewReader("=== RUN TestX\n--- PASS: TestX\nBenchmark garbage line\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 0 {
+		t.Fatalf("chatter parsed as benchmarks: %+v", sum.Benchmarks)
+	}
+}

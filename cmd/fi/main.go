@@ -53,6 +53,7 @@ type options struct {
 	nosnap     bool
 	noconv     bool
 	nocomp     bool
+	nolive     bool
 	classSpec  string
 	onfailSpec string
 	journal    string
@@ -78,6 +79,7 @@ func main() {
 	flag.BoolVar(&o.nosnap, "nosnap", false, "disable golden-run snapshot fast-forwarding (full prefix replay)")
 	flag.BoolVar(&o.noconv, "noconverge", false, "disable convergence-gated early termination and the fault-equivalence memo")
 	flag.BoolVar(&o.nocomp, "nocompile", false, "disable the compiled fast tier (run the interpreter between event horizons)")
+	flag.BoolVar(&o.nolive, "noliveness", false, "disable static liveness pruning (execute experiments the oracle could classify)")
 	flag.StringVar(&o.classSpec, "classifier", "", `outcome classifier: "exact" (default) or "tol:abs=E,rel=E[,word=4|8][,float]" (tolerant output comparison)`)
 	flag.StringVar(&o.onfailSpec, "onfail", "", `failure policy for experiments failing every supervision tier: "fast" (abort, default) or "quarantine" (poison and keep draining)`)
 	flag.StringVar(&o.journal, "journal", "", "journal directory: run the campaign as a durable sharded job (checkpointed, resumable, multi-process)")
@@ -136,7 +138,7 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	target, err := core.NewTargetOpts(o.prog, p, core.TargetOptions{NoConverge: o.noconv, NoCompile: o.nocomp})
+	target, err := core.NewTargetOpts(o.prog, p, core.TargetOptions{NoConverge: o.noconv, NoCompile: o.nocomp, NoLiveness: o.nolive})
 	if err != nil {
 		return err
 	}
@@ -177,6 +179,7 @@ func runFlip(target *core.Target, win core.WinSize, o options) error {
 		NoSnapshots: o.nosnap,
 		NoConverge:  o.noconv,
 		NoCompile:   o.nocomp,
+		NoLiveness:  o.nolive,
 		Classifier:  o.classifier,
 		OnFailure:   o.onfail,
 		Service:     o.service(),
@@ -228,7 +231,7 @@ func runStatus(dir string) error {
 	t := &report.Table{
 		Title: fmt.Sprintf("Campaign journals in %s", dir),
 		Columns: []string{"campaign", "n", "seed", "shards done/leased/pending",
-			"experiments", "SDC so far", "0->1", "1->0"},
+			"experiments", "pruned", "SDC so far", "0->1", "1->0"},
 	}
 	var extra []string
 	for _, in := range infos {
@@ -237,11 +240,18 @@ func runStatus(dir string) error {
 		if st.Tally.N() > 0 {
 			sdc = stats.FormatPct(st.Tally.SDCPct()) + "%"
 		}
+		// Journals written before the static-pruning tier carry no counter
+		// and land on the same "-" as campaigns where the tier never fired.
+		pruned := "-"
+		if st.StaticPruned > 0 {
+			pruned = strconv.Itoa(st.StaticPruned)
+		}
 		t.AddRow(in.Meta.Model,
 			strconv.Itoa(in.Meta.N),
 			strconv.FormatUint(in.Meta.Seed, 10),
 			fmt.Sprintf("%d/%d/%d of %d", st.Done, st.Leased, st.Pending, st.Shards),
 			fmt.Sprintf("%d/%d", st.ExperimentsDone, st.ExperimentsTotal),
+			pruned,
 			sdc,
 			dirCell(&st.Tally, core.Dir0to1),
 			dirCell(&st.Tally, core.Dir1to0))
@@ -258,7 +268,8 @@ func runStatus(dir string) error {
 	}
 	t.Notes = append(t.Notes,
 		"The tally covers checkpointed shards only; shard merging is exact, so percentages are true partial results.",
-		"0->1 / 1->0 split checkpointed experiments by flip direction (count and SDC%); journals written before the dimensional tally show \"-\".")
+		"0->1 / 1->0 split checkpointed experiments by flip direction (count and SDC%); journals written before the dimensional tally show \"-\".",
+		"pruned counts experiments classified Benign by the static liveness tier without executing; \"-\" means none (or a journal written before the tier).")
 	t.Notes = append(t.Notes, extra...)
 	return t.Render(os.Stdout)
 }
@@ -313,6 +324,12 @@ func renderCampaign(title string, res *core.EngineResult) error {
 		fmt.Sprintf("error resilience: %.3f", res.Resilience()),
 		fmt.Sprintf("mean activated errors per experiment: %.2f", float64(res.ActivatedTotal)/float64(res.N())),
 		fmt.Sprintf("early exits: %d converged with the golden run, %d fault-equivalence memo hits", res.Converged, res.MemoHits))
+	// Only campaigns where the tier fired mention it: flag-identical output
+	// to builds predating the static-pruning tier otherwise.
+	if res.StaticPruned > 0 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("static pruning: %d experiment(s) proved Benign by the liveness oracle without executing", res.StaticPruned))
+	}
 	for _, q := range res.Quarantined {
 		failure := ""
 		if n := len(q.Errs); n > 0 {

@@ -41,6 +41,7 @@ func main() {
 		nosnap      = flag.Bool("nosnap", false, "disable golden-run snapshot fast-forwarding (full prefix replay)")
 		noconverge  = flag.Bool("noconverge", false, "disable convergence-gated early termination and the fault-equivalence memo")
 		nocompile   = flag.Bool("nocompile", false, "disable the compiled fast tier (run the interpreter between event horizons)")
+		noliveness  = flag.Bool("noliveness", false, "disable static liveness pruning (execute experiments the oracle could classify)")
 		classifier  = flag.String("classifier", "", `outcome classifier for every campaign: "exact" (default) or "tol:abs=E,rel=E[,word=4|8][,float]"`)
 		onfail      = flag.String("onfail", "", `failure policy for experiments failing every supervision tier: "fast" (abort, default) or "quarantine" (poison and keep draining)`)
 		journal     = flag.String("journal", "", "journal directory: run campaigns as durable sharded jobs (checkpointed, resumable, multi-process)")
@@ -56,6 +57,7 @@ func main() {
 		transitions: *transitions, ablations: *ablations, memfaults: *memfaults,
 		composition: *composition, stuckat: *stuckat, stuckwin: *stuckwin,
 		workers: *workers, nosnap: *nosnap, noconverge: *noconverge, nocompile: *nocompile,
+		noliveness: *noliveness,
 		classifier: *classifier, onfail: *onfail, journal: *journal, resume: *resume,
 		out: *out, csvDir: *csvDir, verbose: *verbose,
 	}); err != nil {
@@ -80,6 +82,7 @@ type params struct {
 	nosnap      bool
 	noconverge  bool
 	nocompile   bool
+	noliveness  bool
 	classifier  string
 	onfail      string
 	journal     string
@@ -123,6 +126,7 @@ func runTo(w io.Writer, p params) error {
 		NoSnapshots: p.nosnap,
 		NoConverge:  p.noconverge,
 		NoCompile:   p.nocompile,
+		NoLiveness:  p.noliveness,
 		NoStuckAt:   !p.stuckat,
 		JournalDir:  p.journal,
 		Resume:      p.resume,
@@ -222,6 +226,16 @@ func runTo(w io.Writer, p params) error {
 			if err := abl.Render(w); err != nil {
 				return err
 			}
+		}
+		// The static-pruning confrontation reuses the ablation sample: how
+		// many experiments the liveness tier classifies without executing,
+		// and that every one of them agrees with actual execution.
+		live, err := study.LivenessPredictionTable([]string{"qsort", "CRC32"}, ablN, seed)
+		if err != nil {
+			return err
+		}
+		if err := live.Render(w); err != nil {
+			return err
 		}
 	}
 	if p.memfaults {

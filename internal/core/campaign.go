@@ -135,6 +135,14 @@ type CampaignSpec struct {
 	// CI convergence ablation (MULTIFLIP_NOCONVERGE disables both
 	// process-wide).
 	NoConverge bool
+	// NoLiveness disables static-liveness pruning for this campaign:
+	// every experiment executes even when the liveness oracle could prove
+	// it Benign without running. Results are bit-identical either way
+	// modulo the StaticPruned counter (the liveness soundness
+	// differential enforces it); the knob exists for that comparison and
+	// for the CI liveness ablation (MULTIFLIP_NOLIVENESS disables the
+	// tier process-wide).
+	NoLiveness bool
 	// Pins, when non-empty, forces experiment i's first injection to
 	// Pins[i] and sets N = len(Pins).
 	Pins []Pin
@@ -289,6 +297,7 @@ func RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
 		NoFusion:      spec.NoFusion,
 		NoCompile:     spec.NoCompile,
 		NoConverge:    spec.NoConverge,
+		NoLiveness:    spec.NoLiveness,
 		NoAlignTrap:   spec.NoAlignTrap,
 		Classifier:    spec.Classifier,
 		FailurePolicy: spec.OnFailure,

@@ -145,6 +145,13 @@ type Engine struct {
 	// NoConverge disables convergence-gated early termination and the
 	// fault-equivalence memo.
 	NoConverge bool
+	// NoLiveness disables static-liveness pruning: every experiment
+	// executes even when the model could prove it Benign statically.
+	// Recorded outcomes are bit-identical either way (pruning predicts
+	// exactly what execution would record), so the knob — like the
+	// process-wide MULTIFLIP_NOLIVENESS switch — stays out of the
+	// campaign fingerprint.
+	NoLiveness bool
 	// NoAlignTrap disables the misaligned-access exception (alignment
 	// ablation).
 	NoAlignTrap bool
@@ -212,6 +219,12 @@ type EngineResult struct {
 	// on worker scheduling (which equivalent experiment runs first);
 	// outcomes never do.
 	MemoHits int
+	// StaticPruned counts experiments classified Benign by the static
+	// liveness tier without executing: every bit of their sampled flip
+	// mask was provably dead at the injection point. Deterministic per
+	// (target, model, seed) — pruning happens before scheduling can
+	// intervene — and zero under NoLiveness.
+	StaticPruned int
 	// Experiments holds per-experiment records when Record is set.
 	Experiments []Experiment
 	// Quarantined holds the repro records of experiments poisoned under
@@ -233,8 +246,9 @@ type memoVal struct {
 // expStats reports how an experiment terminated, for the engine's
 // early-exit accounting.
 type expStats struct {
-	converged bool
-	memoHit   bool
+	converged    bool
+	memoHit      bool
+	staticPruned bool
 }
 
 // memoTable abstracts the fault-equivalence memo store so the engine
@@ -378,7 +392,7 @@ func (e *Engine) Run() (*EngineResult, error) {
 					if quar != nil {
 						sh.Quarantined = append(sh.Quarantined, *quar)
 					}
-					sh.Add(&exp, st.converged, st.memoHit)
+					sh.Add(&exp, st.converged, st.memoHit, st.staticPruned)
 					if exps != nil {
 						exps[i] = exp
 					}
@@ -545,7 +559,7 @@ func (e *Engine) runJournaled() (*EngineResult, error) {
 					if quar != nil {
 						sr.Quarantined = append(sr.Quarantined, *quar)
 					}
-					sr.Add(&exp, st.converged, st.memoHit)
+					sr.Add(&exp, st.converged, st.memoHit, st.staticPruned)
 					if e.Record {
 						sr.Experiments = append(sr.Experiments, exp)
 					}
@@ -609,6 +623,18 @@ func (e *Engine) runOne(idx uint64, memo memoTable, trace *vm.GoldenTrace, ti ti
 	t := e.Target
 	rng := xrand.ForExperiment(e.Seed, idx)
 	inj := e.Model.Plan(t, idx, rng)
+
+	// Static pruning tier: a model that can prove this plan's outcome
+	// from the liveness oracle records it without running the VM. The
+	// prediction is exact — same Experiment fields an executed run would
+	// produce — so only the StaticPruned counter distinguishes the paths.
+	if !e.NoLiveness {
+		if sp, ok := e.Model.(StaticPredictor); ok {
+			if exp, ok := sp.PredictStatic(t, &inj); ok {
+				return exp, expStats{staticPruned: true}, nil
+			}
+		}
+	}
 
 	hangFactor := e.HangFactor
 	if hangFactor == 0 {

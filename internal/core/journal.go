@@ -124,6 +124,11 @@ type ShardResult struct {
 	Converged int `json:"conv"`
 	// MemoHits counts memo-resolved experiments in the shard.
 	MemoHits int `json:"memo"`
+	// StaticPruned counts experiments the static liveness tier classified
+	// without executing. Omitted when zero, so journals written before
+	// the liveness tier existed are unchanged on disk and load with zero
+	// pruned.
+	StaticPruned int `json:"spruned,omitempty"`
 	// Experiments holds the shard's per-experiment records, in index
 	// order, when the campaign records them (nil otherwise).
 	Experiments []Experiment `json:"exps,omitempty"`
@@ -135,9 +140,10 @@ type ShardResult struct {
 	Quarantined []QuarantineRecord `json:"quar,omitempty"`
 }
 
-// Add folds one experiment into the shard aggregate. converged and
-// memoHit report how the experiment terminated early, if it did.
-func (s *ShardResult) Add(exp *Experiment, converged, memoHit bool) {
+// Add folds one experiment into the shard aggregate. converged, memoHit
+// and staticPruned report how the experiment terminated early (or was
+// classified without running), if it was.
+func (s *ShardResult) Add(exp *Experiment, converged, memoHit, staticPruned bool) {
 	s.Tally.AddDim(exp.Outcome, exp.Bit, exp.Dir)
 	s.Activated += exp.Activated
 	if exp.Outcome == OutcomeException {
@@ -158,6 +164,9 @@ func (s *ShardResult) Add(exp *Experiment, converged, memoHit bool) {
 	if memoHit {
 		s.MemoHits++
 	}
+	if staticPruned {
+		s.StaticPruned++
+	}
 }
 
 // Fold merges one shard aggregate into the result; lo is the shard's
@@ -176,6 +185,7 @@ func (r *EngineResult) Fold(s *ShardResult, lo int) {
 	r.ActivatedTotal += s.Activated
 	r.Converged += s.Converged
 	r.MemoHits += s.MemoHits
+	r.StaticPruned += s.StaticPruned
 	r.Quarantined = append(r.Quarantined, s.Quarantined...)
 	if r.Experiments != nil && len(s.Experiments) > 0 && lo >= 0 && lo+len(s.Experiments) <= len(r.Experiments) {
 		copy(r.Experiments[lo:], s.Experiments)
@@ -199,6 +209,7 @@ func (r *EngineResult) Merge(o *EngineResult) {
 	r.ActivatedTotal += o.ActivatedTotal
 	r.Converged += o.Converged
 	r.MemoHits += o.MemoHits
+	r.StaticPruned += o.StaticPruned
 	// Re-sorting after the append keeps Merge commutative for the
 	// quarantine records too (both sides cover disjoint indices).
 	r.Quarantined = append(r.Quarantined, o.Quarantined...)
@@ -240,9 +251,9 @@ type CampaignStatus struct {
 	ExperimentsTotal, ExperimentsDone int
 	// Tally is the running outcome tally over checkpointed shards.
 	Tally Tally
-	// Converged and MemoHits sum the early-exit counters over
-	// checkpointed shards.
-	Converged, MemoHits int
+	// Converged, MemoHits and StaticPruned sum the early-exit and
+	// static-pruning counters over checkpointed shards.
+	Converged, MemoHits, StaticPruned int
 	// Quarantined counts experiments poisoned under the Quarantine
 	// failure policy across checkpointed shards.
 	Quarantined int
@@ -485,6 +496,7 @@ func (st *journalState) status() CampaignStatus {
 			s.Tally.Merge(&sh.res.Tally)
 			s.Converged += sh.res.Converged
 			s.MemoHits += sh.res.MemoHits
+			s.StaticPruned += sh.res.StaticPruned
 			s.Quarantined += len(sh.res.Quarantined)
 		case st.leaseLive(sh, now):
 			s.Leased++

@@ -28,6 +28,9 @@ func copyFixture(t *testing.T) string {
 	if strings.Contains(string(data), "dims") {
 		t.Fatal("fixture is not old-format: it mentions dims")
 	}
+	if strings.Contains(string(data), "spruned") {
+		t.Fatal("fixture is not old-format: it mentions spruned")
+	}
 	p := filepath.Join(t.TempDir(), "oldformat-campaign.mfj")
 	if err := os.WriteFile(p, data, 0o644); err != nil {
 		t.Fatal(err)
@@ -87,6 +90,11 @@ func TestOldFormatJournalLoads(t *testing.T) {
 	if er.ActivatedTotal != 10 || er.Converged != 1 {
 		t.Fatalf("folded counters: act=%d conv=%d", er.ActivatedTotal, er.Converged)
 	}
+	// Pre-liveness journals predate the StaticPruned counter: it must
+	// load as zero, never error.
+	if st.StaticPruned != 0 || er.StaticPruned != 0 {
+		t.Fatalf("old-format journal invented StaticPruned: status=%d folded=%d", st.StaticPruned, er.StaticPruned)
+	}
 }
 
 // TestDimsJournalRoundTrip is the forward half of the compatibility
@@ -110,7 +118,7 @@ func TestDimsJournalRoundTrip(t *testing.T) {
 		{Bit: -1, Dir: core.DirUnknown, Outcome: core.OutcomeSDC, Activated: 2},
 	}
 	for i := range exps {
-		sr.Add(&exps[i], false, false)
+		sr.Add(&exps[i], false, false, i == 0)
 	}
 	if err := j.Checkpoint(sr); err != nil {
 		t.Fatal(err)
@@ -133,6 +141,9 @@ func TestDimsJournalRoundTrip(t *testing.T) {
 	}
 	if got := results[0].Tally; got != sr.Tally {
 		t.Fatalf("tally did not round-trip:\n got %+v\nwant %+v", got, sr.Tally)
+	}
+	if results[0].StaticPruned != 1 {
+		t.Fatalf("StaticPruned did not round-trip: got %d, want 1", results[0].StaticPruned)
 	}
 	d := &results[0].Tally.Dims
 	if d.Count(core.OutcomeBenign, 3, core.Dir0to1) != 1 ||

@@ -43,6 +43,12 @@ type Target struct {
 	// outcomes by post-injection state. Nil when the target was prepared
 	// with NoSnapshots or NoConverge.
 	Trace *vm.GoldenTrace
+
+	// oracle maps candidate indices whose injection point has statically
+	// dead bits to the pruning metadata PredictStatic needs. Nil when the
+	// target was prepared with NoLiveness (or the process-wide kill
+	// switch), or when the program has no dead candidates.
+	oracle *liveOracle
 }
 
 // DefaultSnapshotInterval is the golden-run checkpoint spacing in dynamic
@@ -83,6 +89,12 @@ type TargetOptions struct {
 	// are bit-identical either way (the convergence differential tests
 	// enforce it).
 	NoConverge bool
+	// NoLiveness skips the bit-level static liveness analysis and the
+	// candidate oracle built from it, so campaigns on this target execute
+	// every experiment instead of statically pruning dead-bit flips.
+	// Recorded outcomes are bit-identical either way (the liveness
+	// soundness differential enforces it).
+	NoLiveness bool
 }
 
 // NewTarget profiles p fault-free, recording golden-run snapshots at the
@@ -94,6 +106,16 @@ func NewTarget(name string, p *ir.Program) (*Target, error) {
 // NewTargetOpts is NewTarget with explicit preparation options.
 func NewTargetOpts(name string, p *ir.Program, opts TargetOptions) (*Target, error) {
 	vopts := vm.Options{NoFuse: opts.NoFusion, NoCompile: opts.NoCompile}
+	var ob *oracleBuilder
+	if livenessEnabled && !opts.NoLiveness {
+		// Piggyback oracle construction on the profiling run: the VM
+		// reports every injection candidate in order, and the builder
+		// keeps the ones whose target bits the static analysis proves
+		// dead. Profiling already runs on the observer tier, so the
+		// hook does not perturb the profile.
+		ob = newOracleBuilder(p)
+		vopts.OnCand = ob.onCand
+	}
 	if !opts.NoSnapshots {
 		vopts.Checkpoint = opts.SnapshotInterval
 		if vopts.Checkpoint == 0 {
@@ -113,7 +135,7 @@ func NewTargetOpts(name string, p *ir.Program, opts TargetOptions) (*Target, err
 	if len(prof.Output) == 0 {
 		return nil, fmt.Errorf("core: prepare %s: fault-free run produced no output", name)
 	}
-	return &Target{
+	t := &Target{
 		Name:       name,
 		Prog:       p,
 		Golden:     prof.Output,
@@ -124,7 +146,11 @@ func NewTargetOpts(name string, p *ir.Program, opts TargetOptions) (*Target, err
 		WriteRoles: prof.WriteRoles,
 		Snapshots:  prof.Snapshots,
 		Trace:      prof.Trace,
-	}, nil
+	}
+	if ob != nil {
+		t.oracle = ob.finish()
+	}
+	return t, nil
 }
 
 // SnapshotBefore returns the latest golden-run snapshot whose candidate

@@ -134,6 +134,13 @@ const (
 	// fusible instruction — the mov+arith superinstruction: the move
 	// executes inline and its successor dispatches in the same round.
 	FuseMov
+	// FuseCmpCmpBr is an integer compare followed by another integer
+	// compare followed by a conditional branch on the second compare's
+	// result — the three-wide loop-head idiom the builder's JmpIfNot
+	// expands to (cond; eq cond,0; condbr), the last ROADMAP dispatch
+	// residual. The annotation lives on the first compare; the second
+	// keeps its own cmp+br pair annotation for control entering mid-chain.
+	FuseCmpCmpBr
 
 	// NumFuseKinds sizes fusion-kind-indexed tables.
 	NumFuseKinds
@@ -342,6 +349,27 @@ func fuseFunc(f *Func) {
 		f.Code[pc].FTok = fuseKind(&f.Code[pc], &f.Code[pc+1])
 	}
 	f.Code[len(f.Code)-1].FTok = FuseNone
+	// Three-wide post-pass: an integer compare whose two successors are
+	// another integer compare and a conditional branch on the second
+	// compare's result. The annotation overrides the head's pair kind;
+	// the middle compare keeps its own cmp+br annotation, so control
+	// branching into the chain's interior still fuses the remaining pair.
+	for pc := 0; pc+2 < len(f.Code); pc++ {
+		a, b, c := &f.Code[pc], &f.Code[pc+1], &f.Code[pc+2]
+		if isICmp(a.Op) && isICmp(b.Op) && c.Op == OpCondBr &&
+			a.Dst != NoReg && b.Dst != NoReg && c.A.IsReg() && c.A.reg == b.Dst {
+			a.FTok = FuseCmpCmpBr
+		}
+	}
+}
+
+// isICmp reports whether op is one of the six integer compares.
+func isICmp(op Op) bool {
+	switch op {
+	case OpICmpEQ, OpICmpNE, OpICmpULT, OpICmpULE, OpICmpSLT, OpICmpSLE:
+		return true
+	}
+	return false
 }
 
 // RegRaw returns the operand's register id without checking the operand

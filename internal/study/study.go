@@ -56,6 +56,12 @@ type Options struct {
 	// either way; the knob supports A/B timing and the CI compile
 	// ablation.
 	NoCompile bool
+	// NoLiveness disables the static liveness pruning tier: experiments
+	// whose flipped bits are provably dead execute on the VM instead of
+	// being classified Benign up front. Results are bit-identical either
+	// way modulo the StaticPruned counter; the knob supports A/B timing
+	// and the CI liveness ablation.
+	NoLiveness bool
 	// Classifier judges golden-vs-actual output in every campaign of the
 	// study (nil = core.ExactClassifier). Non-default classifiers journal
 	// under their own campaign fingerprints.
@@ -195,6 +201,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 		NoSnapshots: opts.NoSnapshots,
 		NoConverge:  opts.NoConverge,
 		NoCompile:   opts.NoCompile,
+		NoLiveness:  opts.NoLiveness,
 	})
 	if err != nil {
 		return nil, err
@@ -220,6 +227,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 			NoSnapshots: opts.NoSnapshots,
 			NoConverge:  opts.NoConverge,
 			NoCompile:   opts.NoCompile,
+			NoLiveness:  opts.NoLiveness,
 			Classifier:  opts.Classifier,
 			OnFailure:   opts.OnFailure,
 			Service:     svc,
@@ -242,6 +250,7 @@ func runProgram(opts Options, name string) (*ProgData, error) {
 					NoSnapshots: opts.NoSnapshots,
 					NoConverge:  opts.NoConverge,
 					NoCompile:   opts.NoCompile,
+					NoLiveness:  opts.NoLiveness,
 					Classifier:  opts.Classifier,
 					OnFailure:   opts.OnFailure,
 					Service:     svc,

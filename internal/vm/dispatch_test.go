@@ -282,3 +282,90 @@ func TestFuseAndLshrDifferential(t *testing.T) {
 	}
 	sameResult(t, "and+lshr unfused vs fused", unfused, fused)
 }
+
+// TestFuseCmpCmpBrAnnotated pins the three-wide loop-head promotion: the
+// builder's While loops expand to cmp; cmp-eq-0; condbr chains, so real
+// workloads must carry FuseCmpCmpBr annotations, each on a well-formed
+// chain whose branch reads the second compare's destination.
+func TestFuseCmpCmpBrAnnotated(t *testing.T) {
+	count := 0
+	for _, bench := range prog.All() {
+		p, err := bench.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", bench.Name, err)
+		}
+		for _, f := range p.Funcs {
+			for pc := range f.Code {
+				if f.Code[pc].FTok != ir.FuseCmpCmpBr {
+					continue
+				}
+				count++
+				if pc+2 >= len(f.Code) {
+					t.Fatalf("%s %s pc %d: FuseCmpCmpBr without two successors", bench.Name, f.Name, pc)
+				}
+				in2, in3 := &f.Code[pc+1], &f.Code[pc+2]
+				if in3.Op != ir.OpCondBr {
+					t.Fatalf("%s %s pc %d: FuseCmpCmpBr chain ends in %s", bench.Name, f.Name, pc, in3.Op)
+				}
+				if !in3.A.IsReg() || in3.A.Reg() != in2.Dst {
+					t.Fatalf("%s %s pc %d: branch does not read the second compare's destination", bench.Name, f.Name, pc)
+				}
+			}
+		}
+	}
+	if count == 0 {
+		t.Fatal("no workload carries a FuseCmpCmpBr superinstruction")
+	}
+}
+
+// TestFuseCmpCmpBrDifferential exercises the cmp+cmp+condbr
+// superinstruction against unfused dispatch: While loops (the JmpIfNot
+// expansion the promotion targets) over signed and unsigned compares at
+// mixed widths, with loop bodies that observe both compare destinations
+// so a miscounted write or a wrong branch shows in the output.
+func TestFuseCmpCmpBrDifferential(t *testing.T) {
+	mb := ir.NewModule("cmp-cmp-br")
+	f := mb.Func("main", 0)
+	i := f.Let(ir.C(0))
+	f.While(func() ir.Src { return f.Slt(i, ir.C(37)) }, func() {
+		f.Out32(i)
+		f.Mov(i, f.Add(i, ir.C(1)))
+	})
+	j := f.Let(ir.C(100))
+	f.While(func() ir.Src { return f.Ugt(j, ir.C(3)) }, func() {
+		f.Out32(j)
+		f.Mov(j, f.Sub(j, ir.C(7)))
+	})
+	// A 64-bit chain: cmp feeding cmp feeding the branch.
+	k := f.Let(ir.C(0))
+	f.While(func() ir.Src {
+		lt := f.CmpW(ir.W64, ir.OpICmpULT, k, ir.C(19))
+		return f.CmpW(ir.W64, ir.OpICmpNE, lt, ir.C(0))
+	}, func() {
+		f.Out64(k)
+		f.Mov(k, f.BinW(ir.W64, ir.OpAdd, k, ir.C(3)))
+	})
+	f.RetVoid()
+	p := mb.MustBuild()
+
+	chains := 0
+	for _, fn := range p.Funcs {
+		for pc := range fn.Code {
+			if fn.Code[pc].FTok == ir.FuseCmpCmpBr {
+				chains++
+			}
+		}
+	}
+	if chains < 3 {
+		t.Fatalf("expected every loop head annotated, got %d chains", chains)
+	}
+	fused, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfused, err := Run(p, Options{NoFuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "cmp+cmp+br unfused vs fused", unfused, fused)
+}

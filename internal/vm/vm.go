@@ -120,6 +120,18 @@ type Options struct {
 	// accesses inside a segment then succeed, as on hardware that supports
 	// unaligned loads. Used by the alignment ablation study.
 	NoAlignTrap bool
+	// OnCand, when non-nil, is called once per injection candidate in
+	// candidate order as the run encounters them: onWrite selects the
+	// write-candidate space, cand is the candidate index within it, (fn,
+	// pc) locate the instruction, and val is the register's fault-free
+	// value at the injection point (pre-instruction for reads,
+	// post-write for writes). slot is the read-slot index for reads, -1
+	// for plain destination writes, and -2 for call-result writes (which
+	// the VM performs at the matching return; pc is then the caller's
+	// resume pc, with the call instruction at pc-1). Setting OnCand
+	// forces the per-instruction observer tier, like CountRoles;
+	// profiling only.
+	OnCand func(onWrite bool, cand uint64, fn, pc, slot int, val uint64)
 	// CountRoles additionally classifies every candidate slot by
 	// ir.SlotRole during the run (address/data/control/float), filling
 	// Result.ReadRoles and Result.WriteRoles. Profiling only: it slows the
@@ -306,6 +318,7 @@ type machine struct {
 
 	noAlign    bool
 	countRoles bool
+	onCand     func(onWrite bool, cand uint64, fn, pc, slot int, val uint64)
 	readRoles  [ir.NumSlotRoles]uint64
 	writeRoles [ir.NumSlotRoles]uint64
 
@@ -424,6 +437,13 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 	m.maxDyn = opts.MaxDyn
 	m.noAlign = opts.NoAlignTrap
 	m.countRoles = opts.CountRoles
+	m.onCand = opts.OnCand
+	if m.onCand != nil {
+		// Candidate enumeration needs every instruction stepped through
+		// the observer tier (and keeps convergence and the fast tier off),
+		// exactly like role counting.
+		m.countRoles = true
+	}
 	m.plan = opts.Plan
 	m.memFlips = opts.MemFlips
 	m.nextMemFlip = ^uint64(0)
@@ -815,6 +835,33 @@ func (m *machine) sprint(fr *frame, limit uint64) *frame {
 				in = &fr.code[fr.pc]
 				goto dispatch
 			}
+			if ft == ir.FuseCmpCmpBr {
+				// cmp+cmp+condbr loop-head superinstruction: three halves
+				// in one dispatch round. Both compare results are written
+				// to their destinations — later code, snapshots and the
+				// observer tier see them — before the branch consumes the
+				// second. A pair of headroom is not enough for three
+				// halves; the head then executes alone (always legal —
+				// fusion annotations are advisory).
+				if limit-dyn < 3 {
+					goto dispatch
+				}
+				in2 := &fr.code[fr.pc+1]
+				in3 := &fr.code[fr.pc+2]
+				regs := fr.regs
+				dyn += 3
+				readSlots += uint64(in.NR) + uint64(in2.NR) + uint64(in3.NR)
+				regs[in.Dst] = icmpVal(regs, in)
+				c := icmpVal(regs, in2)
+				regs[in2.Dst] = c
+				writes += 2
+				if c != 0 {
+					fr.pc = int(in3.Off)
+				} else {
+					fr.pc += 3
+				}
+				continue
+			}
 			// Pair-specialized superinstruction: both halves in this round.
 			in2 := &fr.code[fr.pc+1]
 			regs := fr.regs
@@ -1173,6 +1220,11 @@ func (m *machine) step(fr *frame) *frame {
 	if m.injRead {
 		m.maybeInjectRead(di, in, fr.regs, nr)
 	}
+	if m.onCand != nil {
+		for s := 0; s < nr; s++ {
+			m.onCand(false, m.readSlots+uint64(s), int(fr.fn), fr.pc, s, fr.regs[in.ReadSlot(s)])
+		}
+	}
 	m.readSlots += uint64(nr)
 	if m.countRoles {
 		for s := 0; s < nr; s++ {
@@ -1195,6 +1247,9 @@ func (m *machine) step(fr *frame) *frame {
 			if m.injWrite {
 				m.maybeInjectWrite(di, ir.DestWidth(in), fr.regs, in.Dst, ir.DestRole(in))
 			}
+			if m.onCand != nil {
+				m.onCand(true, m.writes-1, int(fr.fn), fr.pc, -1, fr.regs[in.Dst])
+			}
 		}
 		fr.pc++
 	case statJump:
@@ -1208,6 +1263,9 @@ func (m *machine) step(fr *frame) *frame {
 		if m.injWrite {
 			m.maybeInjectWrite(di, ir.W64, fr.regs, m.retDst, ir.RoleOther)
 		}
+		if m.onCand != nil {
+			m.onCand(true, m.writes-1, int(fr.fn), fr.pc, -2, fr.regs[m.retDst])
+		}
 	default: // statHalt
 		return nil
 	}
@@ -1220,6 +1278,30 @@ func boolBit(b bool) uint64 {
 		return 1
 	}
 	return 0
+}
+
+// icmpVal evaluates one integer-compare instruction over regs: the
+// generic width-masked compare body, shared by the cmp+cmp+condbr
+// superinstruction whose halves can be any of the six compares.
+func icmpVal(regs []uint64, in *ir.Instr) uint64 {
+	w := in.W
+	mask := w.Mask()
+	a := val(regs, in.A) & mask
+	b := val(regs, in.B) & mask
+	switch in.Op {
+	case ir.OpICmpEQ:
+		return boolBit(a == b)
+	case ir.OpICmpNE:
+		return boolBit(a != b)
+	case ir.OpICmpULT:
+		return boolBit(a < b)
+	case ir.OpICmpULE:
+		return boolBit(a <= b)
+	case ir.OpICmpSLT:
+		return boolBit(w.SignExtend(a) < w.SignExtend(b))
+	default: // ir.OpICmpSLE
+		return boolBit(w.SignExtend(a) <= w.SignExtend(b))
+	}
 }
 
 // intDiv evaluates division/remainder, reporting arithmetic traps.
